@@ -1,0 +1,32 @@
+"""Ablation: shared vs per-context global branch history.
+
+The paper's SMT shares one global-history register across all eight
+contexts; interleaved updates from unrelated threads scramble it, which is
+part of why the SMT misprediction rate exceeds the superscalar's on the
+same workload (Table 4: 9.3% vs 5.0%).  Replicating the register per
+context removes that interference.
+"""
+
+from repro.core.config import CPUConfig, MachineConfig
+from repro.core.simulator import Simulation
+from repro.workloads.specint import SpecIntWorkload
+
+
+def _run(per_context: bool) -> float:
+    machine = MachineConfig(cpu=CPUConfig(per_context_history=per_context))
+    sim = Simulation(SpecIntWorkload(), machine=machine, seed=11)
+    result = sim.run(max_instructions=300_000)
+    return result.processor.branch_unit.misprediction_rate()
+
+
+def test_ablation_branch_history(benchmark, emit):
+    rates = benchmark.pedantic(
+        lambda: {"shared": _run(False), "per-context": _run(True)},
+        rounds=1, iterations=1,
+    )
+    lines = ["Ablation: global branch history (SPECInt misprediction rate)",
+             "=" * 60]
+    lines += [f"{k:12s} {v * 100:.2f}%" for k, v in rates.items()]
+    emit("ablation_branch_history", "\n".join(lines))
+    # Private histories must not predict worse than the scrambled shared one.
+    assert rates["per-context"] <= rates["shared"] * 1.05

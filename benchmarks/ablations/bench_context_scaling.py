@@ -1,0 +1,32 @@
+"""Ablation: Apache throughput vs number of hardware contexts.
+
+The headline result -- SMT's 4.2x throughput gain over the superscalar on
+Apache -- should appear as monotone-ish IPC growth from 1 to 8 contexts.
+"""
+
+from repro.core.config import CPUConfig, MachineConfig
+from repro.core.simulator import Simulation
+from repro.workloads.apache import ApacheWorkload
+
+
+def _run(contexts: int) -> float:
+    cpu = CPUConfig(
+        n_contexts=contexts,
+        fetch_contexts=min(2, contexts),
+        pipeline_stages=7 if contexts == 1 else 9,
+    )
+    sim = Simulation(ApacheWorkload(), machine=MachineConfig(cpu=cpu), seed=11)
+    return sim.run(max_instructions=220_000).ipc
+
+
+def test_ablation_context_scaling(benchmark, emit):
+    ipcs = benchmark.pedantic(
+        lambda: {k: _run(k) for k in (1, 2, 4, 8)},
+        rounds=1, iterations=1,
+    )
+    lines = ["Ablation: Apache IPC vs hardware contexts", "=" * 44]
+    lines += [f"{k} contexts: IPC {v:.2f}  (speedup {v / ipcs[1]:.1f}x)"
+              for k, v in ipcs.items()]
+    emit("ablation_context_scaling", "\n".join(lines))
+    assert ipcs[8] > 2.0 * ipcs[1]
+    assert ipcs[4] > ipcs[1]

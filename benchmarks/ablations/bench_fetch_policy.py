@@ -1,0 +1,31 @@
+"""Ablation: ICOUNT-2.8 fetch vs naive round-robin fetch.
+
+The ICOUNT policy (Tullsen et al., and Table 1 of the paper) prioritizes
+the least-loaded contexts; round-robin ignores load.  ICOUNT should match
+or beat round-robin throughput on the mixed Apache workload.
+"""
+
+from repro.core.config import CPUConfig, MachineConfig
+from repro.core.simulator import Simulation
+from repro.workloads.apache import ApacheWorkload
+
+
+def _run(policy: str) -> float:
+    machine = MachineConfig(cpu=CPUConfig(fetch_policy=policy))
+    sim = Simulation(ApacheWorkload(), machine=machine, seed=11)
+    result = sim.run(max_instructions=250_000)
+    return result.ipc
+
+
+def test_ablation_fetch_policy(benchmark, emit):
+    ipcs = benchmark.pedantic(
+        lambda: {p: _run(p) for p in ("icount", "round_robin")},
+        rounds=1, iterations=1,
+    )
+    text = "\n".join(
+        ["Ablation: fetch policy (Apache, 250k instructions)", "=" * 50]
+        + [f"{p:12s} IPC {v:.2f}" for p, v in ipcs.items()]
+    )
+    emit("ablation_fetch_policy", text)
+    # ICOUNT should not lose badly to round-robin.
+    assert ipcs["icount"] > 0.85 * ipcs["round_robin"]

@@ -1,0 +1,28 @@
+"""Ablation: number of netisr protocol threads.
+
+Digital Unix runs a set of identical netisr threads; too few serialize
+packet processing behind the 'net' lock's holder, too many just idle.
+"""
+
+from repro.core.simulator import Simulation
+from repro.workloads.apache import ApacheWorkload
+
+
+def _run(n_netisr: int) -> tuple[float, int]:
+    wl = ApacheWorkload(n_netisr=n_netisr)
+    sim = Simulation(wl, seed=11)
+    result = sim.run(max_instructions=260_000)
+    return result.ipc, wl.stack.packets_processed
+
+
+def test_ablation_netisr_threads(benchmark, emit):
+    outcomes = benchmark.pedantic(
+        lambda: {k: _run(k) for k in (1, 2, 4)},
+        rounds=1, iterations=1,
+    )
+    lines = ["Ablation: netisr thread count (Apache)", "=" * 40]
+    lines += [f"{k} netisr: IPC {v[0]:.2f}, packets processed {v[1]}"
+              for k, v in outcomes.items()]
+    emit("ablation_netisr_threads", "\n".join(lines))
+    # Packet processing should not collapse with the default thread count.
+    assert outcomes[4][1] >= outcomes[1][1] * 0.5

@@ -1,0 +1,23 @@
+"""Figure 1: SPECInt execution-cycle breakdown over time on SMT.
+
+Paper shape: the OS accounts for ~18% of execution cycles during program
+start-up, falling to a consistent ~5% in steady state; idle time is
+negligible because all eight programs stay runnable.
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig1_specint_cycle_breakdown(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig1(get_run("specint", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("fig1_specint_cycles", fig["text"])
+    data = fig["data"]
+    # Start-up is markedly more OS-intensive than steady state.
+    assert data["startup_os_share"] > 1.5 * data["steady_os_share"]
+    # Steady-state OS share is small (paper: ~5%).
+    assert data["steady_os_share"] < 0.20
+    assert data["boundary"] is not None

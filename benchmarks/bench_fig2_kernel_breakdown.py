@@ -1,0 +1,23 @@
+"""Figure 2: breakdown of SPECInt kernel time, start-up vs steady state.
+
+Paper shape: start-up kernel time is dominated by TLB-miss handling and
+system calls; in steady state total kernel time collapses but keeps
+roughly the same TLB-dominated proportions.
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig2_specint_kernel_breakdown(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig2(get_run("specint", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("fig2_kernel_breakdown", fig["text"])
+    startup, steady = fig["data"]["startup"], fig["data"]["steady"]
+    # Kernel time shrinks massively from start-up to steady state.
+    assert sum(startup.values()) > 2 * sum(steady.values())
+    # TLB handling is a major steady-state kernel activity.
+    tlbish = steady.get("tlb handling", 0) + steady.get("memory management", 0)
+    assert tlbish >= 0.4 * sum(steady.values())

@@ -1,0 +1,20 @@
+"""Figure 3: incursions into kernel memory-management code by type.
+
+Paper shape: page allocation accounts for the majority of kernel MM
+entries (first-touch faults during working-set growth).
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig3_vm_incursions(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig3(get_run("specint", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("fig3_vm_incursions", fig["text"])
+    raw = fig["data"]["raw"]
+    total = sum(raw.values())
+    assert total > 0
+    assert raw["page_allocation"] / total > 0.5

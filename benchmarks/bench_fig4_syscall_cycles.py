@@ -1,0 +1,22 @@
+"""Figure 4: SPECInt system calls as a percentage of execution cycles.
+
+Paper shape: file reads dominate start-up system-call time (input files),
+with process creation/control and the kernel preamble filling most of the
+rest; steady-state syscall time is small.
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig4_specint_syscalls(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig4(get_run("specint", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("fig4_syscall_cycles", fig["text"])
+    startup, steady = fig["data"]["startup"], fig["data"]["steady"]
+    assert sum(startup.values()) > sum(steady.values())
+    # Reads are a leading start-up syscall.
+    top3 = sorted(startup, key=startup.get, reverse=True)[:3]
+    assert "read" in top3 or "execve" in top3

@@ -1,0 +1,18 @@
+"""Figure 5: Apache kernel and user activity over time on SMT.
+
+Paper shape: Apache has essentially no start-up phase and spends over 75%
+of its cycles in the operating system.
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig5_apache_cycle_breakdown(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig5(get_run("apache", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("fig5_apache_cycles", fig["text"])
+    assert fig["data"]["kernel_share"] > 0.60
+    assert fig["data"]["shares"]["idle"] < 0.05

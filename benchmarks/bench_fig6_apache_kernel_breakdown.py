@@ -1,0 +1,29 @@
+"""Figure 6: breakdown of Apache kernel activity, vs SPECInt.
+
+Paper shape: Apache's kernel time is dominated by explicit system calls
+(57%), with substantial interrupt/netisr processing (34%) and only a
+moderate TLB component (13%) -- the inverse of SPECInt's TLB-dominated
+kernel profile.
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig6_apache_kernel_breakdown(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig6(
+            get_run("apache", "smt", "full"),
+            get_run("specint", "smt", "full"),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig6_apache_kernel_breakdown", fig["text"])
+    fracs = fig["data"]["apache_kernel_fracs"]
+    # System calls are the largest class of Apache kernel time.
+    assert fracs["syscalls"] > fracs["interrupts+netisr"]
+    assert fracs["syscalls"] > fracs["tlb+vm"]
+    # Network interrupt processing is a major component (no SPECInt analog).
+    assert fracs["interrupts+netisr"] > 0.08
+    spec_steady = fig["data"]["spec_steady"]
+    assert spec_steady.get("netisr", 0) == 0

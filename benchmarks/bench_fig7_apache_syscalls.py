@@ -1,0 +1,25 @@
+"""Figure 7: Apache system-call time by name and by resource category.
+
+Paper shape: stat ~10% of all cycles, read/write/writev ~19%, I/O control
+~10%; grouped by resource, network and file services are roughly balanced
+with network read/write the single largest consumer.
+"""
+
+from repro.analysis import figures
+from repro.analysis.experiments import get_run
+
+
+def test_fig7_apache_syscall_breakdown(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: figures.fig7(get_run("apache", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("fig7_apache_syscalls", fig["text"])
+    by_name = fig["data"]["by_name"]
+    # stat and the read/write family are leading consumers.
+    top5 = sorted(by_name, key=by_name.get, reverse=True)[:5]
+    assert "stat" in top5
+    assert any(n in top5 for n in ("read", "writev", "write"))
+    by_cat = fig["data"]["by_category"]
+    assert by_cat.get("net read/write", 0) > 0.01
+    assert by_cat.get("file inquiry", 0) > 0.01

@@ -1,0 +1,30 @@
+"""Table 2: SPECInt dynamic instruction mix by type, user vs kernel.
+
+Paper shape: ~20% loads / ~10% stores / ~15% branches in user code with a
+few percent floating point; kernel code has no FP, a large share of
+physically-addressed memory operations, and a much lower conditional
+taken rate.
+"""
+
+from repro.analysis import tables
+from repro.analysis.experiments import get_run
+from repro.isa.types import Mode
+
+
+def test_tab2_specint_instruction_mix(benchmark, emit):
+    tab = benchmark.pedantic(
+        lambda: tables.table2(get_run("specint", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("tab2_specint_mix", tab["text"])
+    steady_user = tab["data"]["Steady User"]
+    steady_kernel = tab["data"]["Steady Kernel"]
+    assert 14 <= steady_user["load"] <= 27
+    assert 9 <= steady_user["branch"] <= 22
+    assert steady_user["floating_point"] > 0.5
+    assert steady_kernel["floating_point"] < 0.5
+    # Kernel memory ops are heavily physically addressed; user never.
+    assert steady_kernel["phys_mem_pct"] > 25
+    assert steady_user["phys_mem_pct"] < 1
+    # Kernel conditional branches are taken less often than user ones.
+    assert steady_kernel["cond_taken_pct"] < steady_user["cond_taken_pct"]

@@ -1,0 +1,22 @@
+"""Table 5: Apache dynamic instruction mix by type.
+
+Paper shape: no floating point anywhere; about half of kernel memory
+operations bypass the DTLB via physical addressing; branch content is
+somewhat higher than SPECInt's.
+"""
+
+from repro.analysis import tables
+from repro.analysis.experiments import get_run
+
+
+def test_tab5_apache_instruction_mix(benchmark, emit):
+    tab = benchmark.pedantic(
+        lambda: tables.table5(get_run("apache", "smt", "full")),
+        rounds=1, iterations=1,
+    )
+    emit("tab5_apache_mix", tab["text"])
+    user, kernel = tab["data"]["User"], tab["data"]["Kernel"]
+    assert user["floating_point"] < 0.2
+    assert kernel["floating_point"] < 0.2
+    assert kernel["phys_mem_pct"] > 25
+    assert 12 <= kernel["load"] + kernel["store"] <= 45

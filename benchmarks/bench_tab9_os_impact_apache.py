@@ -1,0 +1,32 @@
+"""Table 9: impact of the OS on Apache's hardware structures.
+
+Paper shape: including kernel references multiplies the I-cache miss rate
+several-fold (5.5x on SMT), roughly doubles branch mispredictions, and
+raises every other structure's miss rate as well.
+"""
+
+from repro.analysis import tables
+from repro.analysis.experiments import get_run
+
+
+def test_tab9_os_impact_on_apache(benchmark, emit):
+    def build():
+        return tables.table9(
+            get_run("apache", "smt", "omit"),
+            get_run("apache", "smt", "full"),
+            get_run("apache", "ss", "omit"),
+            get_run("apache", "ss", "full"),
+        )
+
+    tab = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("tab9_os_impact_apache", tab["text"])
+    m = tab["data"]
+    # The OS multiplies the I-cache miss rate (paper: 5.5x) and raises the
+    # D-cache miss rate (paper: +35%).  The L2 row is reported but not
+    # asserted: at this run scale the user-only L2 stream is dominated by
+    # compulsory first-touches (~1k accesses, 99% compulsory), an artifact
+    # the paper's billion-instruction runs amortize away -- see
+    # EXPERIMENTS.md.
+    assert m["SMT +OS"]["l1i_miss_pct"] > 1.5 * max(0.01, m["SMT only"]["l1i_miss_pct"])
+    assert m["SMT +OS"]["l1d_miss_pct"] > m["SMT only"]["l1d_miss_pct"]
+    assert m["SMT +OS"]["l2_miss_pct"] > 0

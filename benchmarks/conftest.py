@@ -1,0 +1,38 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures.  All of
+them draw on the same memoized canonical runs (see
+``repro.analysis.experiments``), so the first benchmark touching a given
+(workload, cpu, os_mode) combination pays its simulation cost and the rest
+reuse it.  Set ``REPRO_BUDGET_MULT=0.25`` for a quick smoke pass.
+
+Every benchmark writes its rendered output to ``benchmarks/output/`` and
+prints it (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(output_dir):
+    """Write a rendered table/figure to disk and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""How much does ignoring the operating system distort simulation results?
+
+The paper's first question: previous SMT studies simulated applications
+only -- were their results optimistic?  This example runs the SPECInt
+workload twice, once on the application-only simulator (system calls and
+traps complete instantly, as in pre-2000 methodology) and once with every
+kernel and PAL instruction executed, then compares the architectural
+metrics the way the paper's Table 4 does.
+
+Run:  python examples/os_impact_study.py
+"""
+
+from repro.core import Simulation
+from repro.os_model import OSMode
+from repro.workloads import SpecIntWorkload
+
+
+def run(mode: OSMode):
+    sim = Simulation(SpecIntWorkload(), os_mode=mode, seed=13)
+    result = sim.run(max_instructions=400_000)
+    h = result.hierarchy
+    return {
+        "IPC": result.stats.ipc,
+        "L1I miss %": h.l1i.stats.miss_rate() * 100,
+        "L1D miss %": h.l1d.stats.miss_rate() * 100,
+        "L2 miss %": h.l2.stats.miss_rate() * 100,
+        "DTLB miss %": h.dtlb.stats.miss_rate() * 100,
+        "mispredict %": result.processor.branch_unit.misprediction_rate() * 100,
+        "squash %": result.stats.squash_fraction * 100,
+    }
+
+
+def main() -> None:
+    print("Application-only simulation (instant traps)...")
+    app = run(OSMode.APP_ONLY)
+    print("Full-system simulation (every kernel/PAL instruction executed)...")
+    full = run(OSMode.FULL)
+
+    print(f"\n{'metric':16s} {'app-only':>10s} {'full OS':>10s} {'change':>9s}")
+    for key in app:
+        a, f = app[key], full[key]
+        change = "--" if a == 0 else f"{(f / a - 1) * 100:+.0f}%"
+        print(f"{key:16s} {a:10.2f} {f:10.2f} {change:>9s}")
+    print("\nPaper's conclusion: for SPECInt on SMT the distortion is small"
+          "\n(~5% IPC), so app-only studies of such workloads were sound --"
+          "\nbut OS-intensive workloads are a different story.")
+
+
+if __name__ == "__main__":
+    main()

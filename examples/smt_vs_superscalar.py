@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The headline result: SMT vs superscalar throughput on an OS-intensive
+web-serving workload.
+
+The paper's Apache workload achieves 4.6 IPC on the 8-context SMT but only
+1.1 IPC on an otherwise-identical out-of-order superscalar -- a 4.2x gain,
+the largest ever reported for SMT at the time -- because SMT overlaps the
+operating system's abundant cache misses across contexts.
+
+Run:  python examples/smt_vs_superscalar.py
+"""
+
+from repro.core import MachineConfig, Simulation
+from repro.workloads import ApacheWorkload
+
+
+def run(machine: MachineConfig, label: str, budget: int) -> float:
+    sim = Simulation(ApacheWorkload(), machine=machine, seed=9)
+    result = sim.run(max_instructions=budget)
+    stats = result.stats
+    print(f"\n{label}")
+    print(f"  IPC                 {stats.ipc:.2f}")
+    print(f"  0-fetch cycles      {stats.zero_fetch_cycles / stats.cycles * 100:.1f}%")
+    print(f"  0-issue cycles      {stats.zero_issue_cycles / stats.cycles * 100:.1f}%")
+    print(f"  squashed            {stats.squash_fraction * 100:.1f}% of fetched")
+    print(f"  L1D outstanding     "
+          f"{result.hierarchy.l1d_mshr.average_outstanding(result.cycles):.2f} misses")
+    return stats.ipc
+
+
+def main() -> None:
+    print("Running the Apache workload on both machines (same resources,")
+    print("the superscalar just lacks the extra hardware contexts)...")
+    smt = run(MachineConfig.smt(), "8-context SMT", 400_000)
+    ss = run(MachineConfig.superscalar(), "Out-of-order superscalar", 250_000)
+    print(f"\nSMT / superscalar throughput ratio: {smt / ss:.1f}x "
+          "(paper: 4.2x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setup.py kept for legacy editable installs in offline environments
+whose setuptools predates PEP 660 wheel-based editables."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: a reproduction of "An Analysis of Operating System Behavior on a
+Simultaneous Multithreaded Architecture" (Redstone, Eggers, Levy -- ASPLOS
+2000).
+
+The package implements, in pure Python, every system the paper's
+measurements depend on:
+
+* :mod:`repro.core` -- the 8-context SMT / out-of-order superscalar core;
+* :mod:`repro.memory` -- caches, TLBs, MSHRs, buses, with per-structure
+  miss-cause classification and constructive-sharing accounting;
+* :mod:`repro.branch` -- McFarling hybrid predictor, BTB, return stacks;
+* :mod:`repro.os_model` -- MiniDUX, the synthetic Digital-Unix-4.0d stand-in
+  (PAL code, syscalls, VM, scheduler, interrupts, netisr threads);
+* :mod:`repro.net` -- simulated NIC and protocol-stack substrate;
+* :mod:`repro.workloads` -- the SPECInt95 multiprogram and Apache/SPECWeb96
+  workload models;
+* :mod:`repro.analysis` -- the canonical experiment runs plus builders for
+  every table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import Simulation
+    from repro.workloads import SpecIntWorkload
+
+    result = Simulation(SpecIntWorkload(), seed=7).run(max_instructions=300_000)
+    print(result.ipc)
+
+or, from a shell: ``python -m repro table 6``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import MachineConfig, Simulation
+from repro.workloads import ApacheWorkload, SpecIntWorkload
+
+__all__ = ["MachineConfig", "Simulation", "ApacheWorkload", "SpecIntWorkload",
+           "__version__"]

@@ -1,0 +1,28 @@
+"""Measurement and reporting layer.
+
+The paper extracts every table and figure from a handful of long
+simulations.  This package does the same: :mod:`repro.analysis.experiments`
+memoizes eight canonical runs (SPECInt/Apache x SMT/superscalar x
+full-OS/app-only), captures counter snapshots at workload phase boundaries,
+and the table/figure modules compute the paper's exact rows from windowed
+counter differences.
+"""
+
+from repro.analysis.snapshot import capture, diff
+from repro.analysis.experiments import RunRecord, get_run, clear_cache
+from repro.analysis import export, figures, metrics, paper, report, sweeps, tables
+
+__all__ = [
+    "capture",
+    "diff",
+    "RunRecord",
+    "get_run",
+    "clear_cache",
+    "export",
+    "figures",
+    "metrics",
+    "paper",
+    "report",
+    "sweeps",
+    "tables",
+]

@@ -1,0 +1,108 @@
+"""Export measured windows and metrics to JSON / CSV.
+
+The table and figure builders render the paper's exhibits as text; this
+module serializes the underlying numbers so they can be plotted or diffed
+across runs:
+
+::
+
+    from repro.analysis.experiments import get_run
+    from repro.analysis.export import window_to_json, timeline_to_csv
+
+    rec = get_run("apache", "smt", "full")
+    window_to_json(rec.steady, "apache_steady.json")
+    timeline_to_csv(rec, "apache_timeline.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+from repro.analysis import metrics as M
+from repro.analysis.experiments import RunRecord
+from repro.core.stats import CLASS_NAMES
+
+
+def summarize_window(window: dict, n_contexts: int = 8) -> dict:
+    """Flatten one counter window into a plain metrics dict."""
+    summary = {
+        "instructions": window["retired"],
+        "cycles": window["cycles"],
+        "ipc": M.ipc(window),
+        "squash_fraction": M.squash_fraction(window),
+        "avg_fetchable_contexts": M.avg_fetchable_contexts(window),
+        "zero_fetch_share": M.zero_fetch_share(window),
+        "zero_issue_share": M.zero_issue_share(window),
+        "max_issue_share": M.max_issue_share(window),
+        "cond_mispredict_rate": M.cond_mispredict_rate(window),
+        "class_shares": M.class_shares(window),
+        "kernel_categories": M.kernel_category_shares(window),
+        "syscall_cycle_shares": M.syscall_cycle_shares(window),
+        "miss_rates": {
+            name: M.miss_rate(window, name)
+            for name in ("L1I", "L1D", "L2", "DTLB", "ITLB", "BTB")
+        },
+        "miss_causes": {
+            name: {f"{kind}:{cause}": share
+                   for (kind, cause), share in
+                   M.cause_distribution(window, name).items()}
+            for name in ("L1I", "L1D", "L2", "DTLB", "BTB")
+        },
+        "avoided_shares": {
+            name: {f"{kind}:{filler}": share
+                   for (kind, filler), share in
+                   M.avoided_distribution(window, name).items()}
+            for name in ("L1I", "L1D", "L2", "DTLB")
+        },
+    }
+    return summary
+
+
+def window_to_json(window: dict, path, n_contexts: int = 8) -> pathlib.Path:
+    """Write a window's summarized metrics as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(summarize_window(window, n_contexts),
+                               indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_to_json(record: RunRecord, path) -> pathlib.Path:
+    """Write a run record's start-up/steady/total summaries as JSON."""
+    n = record.n_contexts
+    payload = {
+        "key": list(record.key),
+        "startup": summarize_window(record.startup, n),
+        "steady": summarize_window(record.steady, n),
+        "total": summarize_window(record.total, n),
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def timeline_to_csv(record: RunRecord, path) -> pathlib.Path:
+    """Write the run's mode-class timeline (Figures 1/5 data) as CSV."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["cycle"] + list(CLASS_NAMES))
+        for cycle, shares in record.result.stats.timeline:
+            writer.writerow([cycle] + [f"{s:.6f}" for s in shares])
+    return path
+
+
+def sweep_to_csv(sweep, path) -> pathlib.Path:
+    """Write a :class:`~repro.analysis.sweeps.Sweep` as CSV."""
+    path = pathlib.Path(path)
+    if not sweep.points:
+        raise ValueError("sweep has no points")
+    metric_names = sorted(sweep.points[0].metrics)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow([sweep.parameter] + metric_names)
+        for point in sweep.points:
+            writer.writerow([point.value]
+                            + [f"{point.metrics[m]:.6f}" for m in metric_names])
+    return path

@@ -1,0 +1,308 @@
+"""Derived metrics over counter windows.
+
+All functions take a *window* -- the dict produced by
+:func:`repro.analysis.snapshot.diff` (or a full capture, which is the
+window from machine boot) -- and return the quantities the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.isa.types import InstrType, Mode
+from repro.os_model.syscalls import SYSCALL_CATALOG
+
+# -- utilization -----------------------------------------------------------
+
+
+def ipc(window: dict) -> float:
+    """Retired instructions per cycle."""
+    return window["retired"] / window["cycles"] if window["cycles"] else 0.0
+
+
+def squash_fraction(window: dict) -> float:
+    """Squashed instructions as a fraction of instructions fetched."""
+    return window["squashed"] / window["fetched"] if window["fetched"] else 0.0
+
+
+def avg_fetchable_contexts(window: dict) -> float:
+    return (
+        window["fetchable_context_sum"] / window["cycles"]
+        if window["cycles"]
+        else 0.0
+    )
+
+
+def zero_fetch_share(window: dict) -> float:
+    return window["zero_fetch_cycles"] / window["cycles"] if window["cycles"] else 0.0
+
+
+def zero_issue_share(window: dict) -> float:
+    return window["zero_issue_cycles"] / window["cycles"] if window["cycles"] else 0.0
+
+
+def max_issue_share(window: dict) -> float:
+    return window["max_issue_cycles"] / window["cycles"] if window["cycles"] else 0.0
+
+
+def avg_outstanding_misses(window: dict, level: str) -> float:
+    """Time-averaged outstanding misses for 'L1I' / 'L1D' / 'L2'."""
+    cycles = window["now"] if window.get("now") else window["cycles"]
+    if not cycles:
+        return 0.0
+    return window["mshr_integrals"][level] / cycles
+
+
+# -- memory structures ----------------------------------------------------------
+
+
+def _structure(window: dict, name: str) -> dict:
+    if name == "BTB":
+        return window["btb"]
+    if name in ("ITLB", "DTLB"):
+        return window["tlbs"][name]
+    return window["caches"][name]
+
+
+def miss_rate(window: dict, name: str, kind: int | None = None) -> float:
+    """Miss rate of a structure, overall or for one accessor kind."""
+    st = _structure(window, name)
+    extra = [0, 0]
+    if name == "BTB":
+        extra = window["btb_target_mispredicts"]
+    if kind is None:
+        acc = sum(st["accesses"])
+        mis = sum(st["misses"]) + sum(extra)
+    else:
+        acc = st["accesses"][kind]
+        mis = st["misses"][kind] + extra[kind]
+    return mis / acc if acc else 0.0
+
+
+def itlb_miss_per_instruction(window: dict, kind: int | None = None) -> float:
+    """ITLB misses per retired instruction (the comparable denominator --
+    the simulator only probes the ITLB on PC page changes)."""
+    st = window["tlbs"]["ITLB"]
+    misses = sum(st["misses"]) if kind is None else st["misses"][kind]
+    return misses / window["retired"] if window["retired"] else 0.0
+
+
+def cause_distribution(window: dict, name: str) -> dict[tuple[int, int], float]:
+    """(accessor kind, cause) -> share of all misses (the lower halves of
+    the paper's Tables 3 and 7; sums to 1)."""
+    st = _structure(window, name)
+    total = sum(st["misses"])
+    if not total:
+        return {}
+    out = {}
+    for key, v in st["causes"].items():
+        kind_s, cause_s = key.split(":")
+        out[(int(kind_s), int(cause_s))] = v / total
+    return out
+
+
+def avoided_distribution(window: dict, name: str) -> dict[tuple[int, int], float]:
+    """(misser kind, prefetcher kind) -> avoided misses as a share of all
+    actual misses (the paper's Table 8)."""
+    st = _structure(window, name)
+    total = sum(st["misses"])
+    if not total:
+        return {}
+    out = {}
+    for key, v in st["avoided"].items():
+        kind_s, filler_s = key.split(":")
+        out[(int(kind_s), int(filler_s))] = v / total
+    return out
+
+
+# -- branches -------------------------------------------------------------------
+
+
+def cond_mispredict_rate(window: dict, kind: int | None = None) -> float:
+    if kind is None:
+        preds = sum(window["cond_predictions"])
+        bad = sum(window["cond_mispredicts"])
+    else:
+        preds = window["cond_predictions"][kind]
+        bad = window["cond_mispredicts"][kind]
+    return bad / preds if preds else 0.0
+
+
+# -- time attribution --------------------------------------------------------------
+
+
+def class_shares(window: dict) -> dict[str, float]:
+    """user/kernel/pal/idle shares of context-cycles."""
+    total = sum(window["class_cycles"])
+    names = ("user", "kernel", "pal", "idle")
+    if not total:
+        return {n: 0.0 for n in names}
+    return {n: window["class_cycles"][i] / total for i, n in enumerate(names)}
+
+
+def service_shares(window: dict) -> dict[str, float]:
+    """Every attribution label's share of context-cycles."""
+    total = sum(window["service_cycles"].values())
+    if not total:
+        return {}
+    return {k: v / total for k, v in window["service_cycles"].items()}
+
+
+#: Kernel-activity grouping used for the paper's Figures 2 and 6.
+KERNEL_CATEGORIES = {
+    "tlb handling": ("tlb:refill", "pal:dtlb", "pal:itlb"),
+    "memory management": ("vm:",),
+    "system calls": ("syscall:", "pal:callsys"),
+    "interrupts": ("intr:", "pal:intr"),
+    "netisr": ("netisr",),
+    "scheduler": ("sched", "pal:swpctx"),
+    "synchronization": ("spinlock",),
+    "other pal": ("pal:rti", "pal:setipl", "pal"),
+}
+
+
+def kernel_category_shares(window: dict) -> dict[str, float]:
+    """Kernel-time categories as shares of *all* context-cycles (Figure 2/6
+    style: the bars are percentages of total execution cycles)."""
+    shares = service_shares(window)
+    out = {cat: 0.0 for cat in KERNEL_CATEGORIES}
+    for service, share in shares.items():
+        if service in ("user", "idle"):
+            continue
+        for cat, prefixes in KERNEL_CATEGORIES.items():
+            if any(service == p or service.startswith(p) for p in prefixes):
+                out[cat] += share
+                break
+        else:
+            out.setdefault("other", 0.0)
+            out["other"] += share
+    return out
+
+
+def syscall_cycle_shares(window: dict) -> dict[str, float]:
+    """Per-syscall share of all context-cycles, by display name (Figure 7
+    left).  The kernel preamble is reported as its own entry."""
+    shares = service_shares(window)
+    out: dict[str, float] = {}
+    for service, share in shares.items():
+        if not service.startswith("syscall:"):
+            continue
+        name = service.split(":", 1)[1]
+        if name == "preamble":
+            out["kernel preamble"] = out.get("kernel preamble", 0.0) + share
+            continue
+        spec = SYSCALL_CATALOG.get(name)
+        display = spec.display_name if spec is not None else name
+        out[display] = out.get(display, 0.0) + share
+    return out
+
+
+def syscall_category_shares(window: dict) -> dict[str, float]:
+    """Per-resource-category share of all context-cycles (Figure 7 right)."""
+    shares = service_shares(window)
+    out: dict[str, float] = {}
+    for service, share in shares.items():
+        if not service.startswith("syscall:"):
+            continue
+        name = service.split(":", 1)[1]
+        if name == "preamble":
+            out["kernel preamble"] = out.get("kernel preamble", 0.0) + share
+            continue
+        spec = SYSCALL_CATALOG.get(name)
+        cat = spec.category.value if spec is not None else "other"
+        out[cat] = out.get(cat, 0.0) + share
+    return out
+
+
+# -- instruction mix ----------------------------------------------------------------
+
+
+def instruction_mix(window: dict, mode: Mode | None = None) -> dict[str, float]:
+    """The paper's Table 2/5 rows for one mode (or overall when None).
+
+    Returns percentages: load, store, branch (plus branch-subtype shares of
+    all branches), remaining integer, floating point, and the parenthetical
+    qualifiers: physical-address share of memory ops and conditional-taken
+    share.
+    """
+    # The paper's mix tables fold PAL code into the kernel column (PAL
+    # call/return appears among the kernel's branch subtypes).
+    if mode is None:
+        wanted = None
+    elif mode is Mode.KERNEL:
+        wanted = {int(Mode.KERNEL), int(Mode.PAL)}
+    else:
+        wanted = {int(mode)}
+    counts: dict[int, int] = {}
+    total = 0
+    for key, v in window["itype_by_mode"].items():
+        mode_s, itype_s = key.split(":")
+        if wanted is not None and int(mode_s) not in wanted:
+            continue
+        itype = int(itype_s)
+        counts[itype] = counts.get(itype, 0) + v
+        total += v
+    if not total:
+        return {}
+
+    def share(*itypes: InstrType) -> float:
+        return sum(counts.get(int(t), 0) for t in itypes) / total
+
+    branches = (
+        InstrType.COND_BRANCH, InstrType.UNCOND_BRANCH, InstrType.INDIRECT_JUMP,
+        InstrType.CALL, InstrType.RETURN, InstrType.PAL_CALL, InstrType.PAL_RETURN,
+    )
+    branch_total = sum(counts.get(int(t), 0) for t in branches)
+
+    def branch_share(*itypes: InstrType) -> float:
+        if not branch_total:
+            return 0.0
+        return sum(counts.get(int(t), 0) for t in itypes) / branch_total
+
+    if wanted is None:
+        mem = sum(window["mem_by_mode"])
+        phys = sum(window["phys_mem_by_mode"])
+        cond = sum(window["cond_by_mode"])
+        taken = sum(window["cond_taken_by_mode"])
+    else:
+        mem = sum(window["mem_by_mode"][m] for m in wanted)
+        phys = sum(window["phys_mem_by_mode"][m] for m in wanted)
+        cond = sum(window["cond_by_mode"][m] for m in wanted)
+        taken = sum(window["cond_taken_by_mode"][m] for m in wanted)
+
+    return {
+        "load": share(InstrType.LOAD) * 100,
+        "store": share(InstrType.STORE, InstrType.SYNC) * 100,
+        "branch": share(*branches) * 100,
+        "conditional": branch_share(InstrType.COND_BRANCH) * 100,
+        "unconditional": branch_share(InstrType.UNCOND_BRANCH, InstrType.CALL) * 100,
+        "indirect": branch_share(InstrType.INDIRECT_JUMP, InstrType.RETURN) * 100,
+        "pal_call_return": branch_share(InstrType.PAL_CALL, InstrType.PAL_RETURN) * 100,
+        "remaining_integer": share(InstrType.INT_ALU) * 100,
+        "floating_point": share(InstrType.FP_ALU) * 100,
+        "phys_mem_pct": (phys / mem * 100) if mem else 0.0,
+        "cond_taken_pct": (taken / cond * 100) if cond else 0.0,
+    }
+
+
+# -- convenience groups ------------------------------------------------------------
+
+
+def table4_metrics(window: dict, n_contexts: int) -> dict[str, float]:
+    """The metric rows of the paper's Tables 4 and 6 for one run window."""
+    return {
+        "ipc": ipc(window),
+        "avg_fetchable_contexts": avg_fetchable_contexts(window),
+        "branch_mispredict_pct": cond_mispredict_rate(window) * 100,
+        "squashed_pct": squash_fraction(window) * 100,
+        "l1i_miss_pct": miss_rate(window, "L1I") * 100,
+        "l1d_miss_pct": miss_rate(window, "L1D") * 100,
+        "l2_miss_pct": miss_rate(window, "L2") * 100,
+        "itlb_miss_pct": itlb_miss_per_instruction(window) * 100,
+        "dtlb_miss_pct": miss_rate(window, "DTLB") * 100,
+        "btb_miss_pct": miss_rate(window, "BTB") * 100,
+        "zero_fetch_pct": zero_fetch_share(window) * 100,
+        "zero_issue_pct": zero_issue_share(window) * 100,
+        "max_issue_pct": max_issue_share(window) * 100,
+        "outstanding_l1i": avg_outstanding_misses(window, "L1I"),
+        "outstanding_l1d": avg_outstanding_misses(window, "L1D"),
+        "outstanding_l2": avg_outstanding_misses(window, "L2"),
+    }

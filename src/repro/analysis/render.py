@@ -1,0 +1,103 @@
+"""Plain-text rendering helpers for paper-style tables and figures."""
+
+from __future__ import annotations
+
+
+def format_table(title: str, headers: list[str], rows: list[list], note: str = "") -> str:
+    """Render an aligned text table.
+
+    *rows* contain strings or numbers; numbers are formatted to a sensible
+    precision.  The first column is left-aligned, the rest right-aligned.
+    """
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0.0"
+            if abs(value) >= 100:
+                return f"{value:.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.2f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells, align_first_left=True):
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_first_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    out = [title, "=" * len(title), line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def format_bars(title: str, items: list[tuple[str, float]], width: int = 42,
+                unit: str = "%", note: str = "") -> str:
+    """Render a horizontal ASCII bar chart."""
+    out = [title, "=" * len(title)]
+    if not items:
+        out.append("(no data)")
+        return "\n".join(out)
+    peak = max(v for _, v in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    for label, value in items:
+        bar = "#" * max(0, round(value / peak * width))
+        out.append(f"{label.ljust(label_w)}  {value:6.2f}{unit} |{bar}")
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def format_timeline(title: str, samples: list[tuple[int, tuple[float, ...]]],
+                    class_names: tuple[str, ...], boundary: int | None = None,
+                    max_rows: int = 40, note: str = "") -> str:
+    """Render a time series of class shares, one row per sample.
+
+    ``boundary`` (a cycle count) draws the paper's start-up / steady-state
+    dotted line.
+    """
+    out = [title, "=" * len(title)]
+    header = "cycle".rjust(10) + "  " + "  ".join(n.rjust(7) for n in class_names)
+    out.append(header + "   (each row: share of context-cycles in window)")
+    step = max(1, len(samples) // max_rows)
+    boundary_drawn = False
+    for idx in range(0, len(samples), step):
+        cycle, shares = samples[idx]
+        if boundary is not None and not boundary_drawn and cycle >= boundary:
+            out.append("-" * len(header) + "  <- steady state")
+            boundary_drawn = True
+        cells = "  ".join(f"{s * 100:6.1f}%" for s in shares)
+        out.append(f"{cycle:10d}  {cells}")
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def pct(x: float) -> float:
+    """Fraction -> percentage."""
+    return x * 100.0
+
+
+def change_str(before: float, after: float) -> str:
+    """The paper's "Change" column: percent change, or a multiplier for
+    large increases (e.g. "5.5x")."""
+    if before == 0:
+        return "--" if after == 0 else "new"
+    ratio = after / before
+    if ratio >= 2.0:
+        return f"{ratio:.1f}x"
+    return f"{(ratio - 1.0) * 100:+.0f}%"

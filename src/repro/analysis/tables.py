@@ -1,0 +1,290 @@
+"""Builders for the paper's Tables 2-9.
+
+Each function takes the :class:`~repro.analysis.experiments.RunRecord`
+objects it needs and returns a dict with the structured data plus a
+``"text"`` rendering.  The benchmarks print the text; tests assert on the
+data.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import metrics as M
+from repro.analysis.experiments import RunRecord
+from repro.analysis.render import change_str, format_table
+from repro.isa.types import Mode
+from repro.memory.classify import MissCause, ModeKind
+
+_CAUSE_ROWS = (
+    ("Intrathread conflicts", MissCause.INTRATHREAD),
+    ("Interthread conflicts", MissCause.INTERTHREAD),
+    ("User-kernel conflicts", MissCause.USER_KERNEL),
+    ("Invalidation by the OS", MissCause.INVALIDATION),
+    ("Compulsory", MissCause.COMPULSORY),
+)
+
+_MIX_ROWS = (
+    ("Load", "load"),
+    ("Store", "store"),
+    ("Branch", "branch"),
+    ("  Conditional", "conditional"),
+    ("  Unconditional", "unconditional"),
+    ("  Indirect Jump", "indirect"),
+    ("  PAL call/return", "pal_call_return"),
+    ("Remaining Integer", "remaining_integer"),
+    ("Floating Point", "floating_point"),
+)
+
+
+def _mix_cell(mix: dict[str, float], key: str) -> str:
+    if not mix:
+        return "--"
+    value = mix.get(key, 0.0)
+    if key in ("load", "store"):
+        return f"{value:.1f} ({mix['phys_mem_pct']:.0f}%)"
+    if key == "conditional":
+        return f"({mix['cond_taken_pct']:.0f}%) {value:.1f}"
+    return f"{value:.1f}"
+
+
+def _mix_table(title: str, columns: list[tuple[str, dict, Mode | None]], note: str) -> dict:
+    headers = ["Instruction Type"] + [name for name, _, _ in columns]
+    mixes = [(name, M.instruction_mix(window, mode)) for name, window, mode in columns]
+    rows = []
+    for label, key in _MIX_ROWS:
+        row = [label]
+        for _, mix in mixes:
+            row.append(_mix_cell(mix, key))
+        rows.append(row)
+    data = dict(mixes)
+    return {
+        "title": title,
+        "data": data,
+        "text": format_table(title, headers, rows, note=note),
+    }
+
+
+def table2(specint_smt: RunRecord) -> dict:
+    """SPECInt dynamic instruction mix, start-up vs steady state (Table 2)."""
+    cols = []
+    for phase, window in (("Start-up", specint_smt.startup), ("Steady", specint_smt.steady)):
+        for mode_name, mode in (("User", Mode.USER), ("Kernel", Mode.KERNEL), ("Overall", None)):
+            cols.append((f"{phase} {mode_name}", window, mode))
+    return _mix_table(
+        "Table 2: SPECInt dynamic instruction mix (%)",
+        cols,
+        note=("Loads/stores show (physical-address share); the conditional "
+              "row shows (taken share)."),
+    )
+
+
+def table5(apache_smt: RunRecord) -> dict:
+    """Apache dynamic instruction mix (Table 5)."""
+    window = apache_smt.steady
+    cols = [
+        ("User", window, Mode.USER),
+        ("Kernel", window, Mode.KERNEL),
+        ("Overall", window, None),
+    ]
+    return _mix_table(
+        "Table 5: Apache dynamic instruction mix (%)",
+        cols,
+        note="Same conventions as Table 2.",
+    )
+
+
+def _miss_distribution_table(title: str, window: dict, structures: list[str]) -> dict:
+    headers = ["Cause of misses"]
+    for s in structures:
+        headers.extend([f"{s} User", f"{s} Kern"])
+    total_row = ["Total miss rate (%)"]
+    data: dict = {"miss_rates": {}, "causes": {}}
+    for s in structures:
+        for kind in (ModeKind.USER, ModeKind.KERNEL):
+            rate = M.miss_rate(window, s, int(kind)) * 100
+            total_row.append(f"{rate:.1f}")
+            data["miss_rates"][(s, int(kind))] = rate
+    rows = [total_row]
+    cause_maps = {s: M.cause_distribution(window, s) for s in structures}
+    for label, cause in _CAUSE_ROWS:
+        row = [label]
+        for s in structures:
+            dist = cause_maps[s]
+            for kind in (0, 1):
+                share = dist.get((kind, int(cause)), 0.0) * 100
+                row.append(f"{share:.1f}")
+                data["causes"][(s, kind, int(cause))] = share
+        rows.append(row)
+    return {
+        "title": title,
+        "data": data,
+        "text": format_table(
+            title, headers, rows,
+            note=("Cause rows are percentages of ALL misses in the structure "
+                  "(user+kernel columns sum to ~100)."),
+        ),
+    }
+
+
+def table3(specint_smt: RunRecord) -> dict:
+    """SPECInt miss rates and conflict causes (Table 3)."""
+    return _miss_distribution_table(
+        "Table 3: SPECInt+OS miss rates and miss-cause distribution",
+        specint_smt.total,
+        ["BTB", "L1I", "L1D", "L2", "DTLB"],
+    )
+
+
+def table7(apache_smt: RunRecord) -> dict:
+    """Apache miss rates and conflict causes (Table 7)."""
+    return _miss_distribution_table(
+        "Table 7: Apache+OS miss rates and miss-cause distribution",
+        apache_smt.total,
+        ["BTB", "L1I", "L1D", "L2", "DTLB", "ITLB"],
+    )
+
+
+_TABLE4_ROWS = (
+    ("IPC", "ipc", 2),
+    ("Average # fetchable contexts", "avg_fetchable_contexts", 1),
+    ("Branch misprediction rate (%)", "branch_mispredict_pct", 1),
+    ("Instructions squashed (% of fetched)", "squashed_pct", 1),
+    ("L1 Icache miss rate (%)", "l1i_miss_pct", 1),
+    ("L1 Dcache miss rate (%)", "l1d_miss_pct", 1),
+    ("L2 miss rate (%)", "l2_miss_pct", 1),
+    ("ITLB miss rate (%)", "itlb_miss_pct", 2),
+    ("DTLB miss rate (%)", "dtlb_miss_pct", 2),
+)
+
+
+def table4(spec_smt_app: RunRecord, spec_smt_full: RunRecord,
+           spec_ss_app: RunRecord, spec_ss_full: RunRecord) -> dict:
+    """SPECInt with and without the OS, SMT vs superscalar (Table 4)."""
+    windows = {
+        "SMT SPEC only": (spec_smt_app.steady, spec_smt_app.n_contexts),
+        "SMT SPEC+OS": (spec_smt_full.steady, spec_smt_full.n_contexts),
+        "SS SPEC only": (spec_ss_app.steady, spec_ss_app.n_contexts),
+        "SS SPEC+OS": (spec_ss_full.steady, spec_ss_full.n_contexts),
+    }
+    metrics = {name: M.table4_metrics(w, n) for name, (w, n) in windows.items()}
+    headers = ["Metric", "SMT app", "SMT +OS", "Chg", "SS app", "SS +OS", "Chg"]
+    rows = []
+    for label, key, nd in _TABLE4_ROWS:
+        smt_a = metrics["SMT SPEC only"][key]
+        smt_f = metrics["SMT SPEC+OS"][key]
+        ss_a = metrics["SS SPEC only"][key]
+        ss_f = metrics["SS SPEC+OS"][key]
+        rows.append([
+            label,
+            f"{smt_a:.{nd}f}", f"{smt_f:.{nd}f}", change_str(smt_a, smt_f),
+            f"{ss_a:.{nd}f}", f"{ss_f:.{nd}f}", change_str(ss_a, ss_f),
+        ])
+    return {
+        "title": "Table 4",
+        "data": metrics,
+        "text": format_table(
+            "Table 4: SPECInt with/without the OS, SMT vs superscalar "
+            "(steady state)", headers, rows,
+            note="'app' = application-only simulator (instant traps).",
+        ),
+    }
+
+
+_TABLE6_ROWS = _TABLE4_ROWS + (
+    ("0-fetch cycles (%)", "zero_fetch_pct", 1),
+    ("0-issue cycles (%)", "zero_issue_pct", 1),
+    ("Max (6) issue cycles (%)", "max_issue_pct", 1),
+    ("Avg outstanding I$ misses", "outstanding_l1i", 1),
+    ("Avg outstanding D$ misses", "outstanding_l1d", 1),
+    ("Avg outstanding L2 misses", "outstanding_l2", 1),
+)
+
+
+def table6(apache_smt: RunRecord, specint_smt: RunRecord, apache_ss: RunRecord) -> dict:
+    """Apache vs SPECInt on SMT, and Apache on the superscalar (Table 6)."""
+    windows = {
+        "SMT Apache": (apache_smt.steady, apache_smt.n_contexts),
+        "SMT SPECInt": (specint_smt.steady, specint_smt.n_contexts),
+        "SS Apache": (apache_ss.steady, apache_ss.n_contexts),
+    }
+    metrics = {name: M.table4_metrics(w, n) for name, (w, n) in windows.items()}
+    headers = ["Metric", "SMT Apache", "SMT SPECInt", "SS Apache"]
+    rows = []
+    for label, key, nd in _TABLE6_ROWS:
+        rows.append([label] + [f"{metrics[name][key]:.{nd}f}" for name in windows])
+    return {
+        "title": "Table 6",
+        "data": metrics,
+        "text": format_table(
+            "Table 6: Architectural metrics, Apache vs SPECInt (with OS)",
+            headers, rows,
+            note="All runs execute the full operating system.",
+        ),
+    }
+
+
+def table8(apache_smt: RunRecord, apache_ss: RunRecord) -> dict:
+    """Misses avoided by interthread cooperation (Table 8)."""
+    structures = ["L1I", "L1D", "L2", "DTLB"]
+    headers = ["Mode that would have missed"]
+    for s in structures:
+        headers.extend([f"{s} by-usr", f"{s} by-krn"])
+    data: dict = {}
+    rows = []
+    for cpu_label, rec in (("Apache - SMT", apache_smt), ("Apache - Superscalar", apache_ss)):
+        rows.append([f"-- {cpu_label} --"] + [""] * (len(headers) - 1))
+        dists = {s: M.avoided_distribution(rec.total, s) for s in structures}
+        for kind_label, kind in (("User", 0), ("Kernel", 1)):
+            row = [kind_label]
+            for s in structures:
+                for filler in (0, 1):
+                    share = dists[s].get((kind, filler), 0.0) * 100
+                    row.append(f"{share:.1f}")
+                    data[(cpu_label, s, kind, filler)] = share
+            rows.append(row)
+    return {
+        "title": "Table 8",
+        "data": data,
+        "text": format_table(
+            "Table 8: Misses avoided by interthread prefetching "
+            "(% of actual misses)", headers, rows,
+            note=("Entry (mode M, by-K): hits by mode-M threads on entries "
+                  "another thread running in mode K fetched first."),
+        ),
+    }
+
+
+_TABLE9_ROWS = (
+    ("Branch misprediction rate (%)", "branch_mispredict_pct"),
+    ("BTB misprediction rate (%)", "btb_miss_pct"),
+    ("L1 Icache miss rate (%)", "l1i_miss_pct"),
+    ("L1 Dcache miss rate (%)", "l1d_miss_pct"),
+    ("L2 miss rate (%)", "l2_miss_pct"),
+)
+
+
+def table9(apache_smt_omit: RunRecord, apache_smt_full: RunRecord,
+           apache_ss_omit: RunRecord, apache_ss_full: RunRecord) -> dict:
+    """OS impact on hardware structures for Apache (Table 9)."""
+    metrics = {
+        "SMT only": M.table4_metrics(apache_smt_omit.steady, apache_smt_omit.n_contexts),
+        "SMT +OS": M.table4_metrics(apache_smt_full.steady, apache_smt_full.n_contexts),
+        "SS only": M.table4_metrics(apache_ss_omit.steady, apache_ss_omit.n_contexts),
+        "SS +OS": M.table4_metrics(apache_ss_full.steady, apache_ss_full.n_contexts),
+    }
+    headers = ["Metric", "SMT only", "SMT +OS", "Chg", "SS only", "SS +OS", "Chg"]
+    rows = []
+    for label, key in _TABLE9_ROWS:
+        a, b = metrics["SMT only"][key], metrics["SMT +OS"][key]
+        c, d = metrics["SS only"][key], metrics["SS +OS"][key]
+        rows.append([label, f"{a:.1f}", f"{b:.1f}", change_str(a, b),
+                     f"{c:.1f}", f"{d:.1f}", change_str(c, d)])
+    return {
+        "title": "Table 9",
+        "data": metrics,
+        "text": format_table(
+            "Table 9: Impact of the OS on hardware structures (Apache)",
+            headers, rows,
+            note=("'only' = kernel references omitted from the hardware "
+                  "structures, the paper's user-only measurement mode."),
+        ),
+    }

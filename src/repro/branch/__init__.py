@@ -1,0 +1,17 @@
+"""Branch-prediction substrate: McFarling hybrid predictor, branch target
+buffer, and per-context return-address stacks, combined by
+:class:`~repro.branch.unit.BranchUnit`.
+"""
+
+from repro.branch.mcfarling import McFarlingPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchUnit, Prediction
+
+__all__ = [
+    "McFarlingPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchUnit",
+    "Prediction",
+]

@@ -1,0 +1,95 @@
+"""McFarling-style hybrid (tournament) conditional-branch predictor.
+
+Table 1's configuration: a local predictor (4K-entry prediction table indexed
+through a 2K-entry per-branch history table) and a global predictor (8K
+two-bit counters indexed by global history) arbitrated by an 8K-entry
+selection table.  This is the predictor family the Alpha 21264 shipped with.
+
+On an SMT the global history register is a *shared* structure in the paper's
+model; interleaved fetch from many threads scrambles it, which is part of why
+the SMT misprediction rate exceeds the superscalar's on the same workload
+(Table 4: 9.3% vs 5.0%).  The register here is likewise shared by default;
+pass ``per_context_history`` to ablate that choice.
+"""
+
+from __future__ import annotations
+
+
+def _counter_update(counter: int, taken: bool) -> int:
+    """Saturating two-bit counter update."""
+    if taken:
+        return counter + 1 if counter < 3 else 3
+    return counter - 1 if counter > 0 else 0
+
+
+class McFarlingPredictor:
+    """Hybrid local/global predictor with a choice table."""
+
+    def __init__(
+        self,
+        local_hist_entries: int = 2048,
+        local_pred_entries: int = 4096,
+        global_entries: int = 8192,
+        choice_entries: int = 8192,
+        n_contexts: int = 1,
+        per_context_history: bool = False,
+    ) -> None:
+        for n in (local_hist_entries, local_pred_entries, global_entries, choice_entries):
+            if n & (n - 1) or n < 2:
+                raise ValueError("predictor table sizes must be powers of two")
+        self._lh_mask = local_hist_entries - 1
+        self._lp_mask = local_pred_entries - 1
+        self._g_mask = global_entries - 1
+        self._c_mask = choice_entries - 1
+        self._local_hist = [0] * local_hist_entries
+        self._local_pred = [1] * local_pred_entries  # weakly not-taken
+        self._global_pred = [1] * global_entries
+        self._choice = [2] * choice_entries  # weakly prefer global
+        self.per_context_history = per_context_history
+        self._ghr = [0] * (n_contexts if per_context_history else 1)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _ghr_of(self, ctx: int) -> int:
+        return self._ghr[ctx if self.per_context_history else 0]
+
+    def predict(self, pc: int, ctx: int = 0) -> bool:
+        """Predict the direction of the conditional branch at *pc*."""
+        word = pc >> 2
+        lh = self._local_hist[word & self._lh_mask]
+        local = self._local_pred[lh & self._lp_mask] >= 2
+        ghr = self._ghr_of(ctx)
+        g_index = (ghr ^ word) & self._g_mask
+        global_ = self._global_pred[g_index] >= 2
+        use_global = self._choice[ghr & self._c_mask] >= 2
+        return global_ if use_global else local
+
+    def update(self, pc: int, taken: bool, ctx: int = 0, predicted: bool | None = None) -> None:
+        """Train all tables with the resolved outcome of the branch at *pc*."""
+        word = pc >> 2
+        lh_index = word & self._lh_mask
+        lh = self._local_hist[lh_index]
+        lp_index = lh & self._lp_mask
+        local_correct = (self._local_pred[lp_index] >= 2) == taken
+        ghr = self._ghr_of(ctx)
+        g_index = (ghr ^ word) & self._g_mask
+        global_correct = (self._global_pred[g_index] >= 2) == taken
+
+        self._local_pred[lp_index] = _counter_update(self._local_pred[lp_index], taken)
+        self._global_pred[g_index] = _counter_update(self._global_pred[g_index], taken)
+        if local_correct != global_correct:
+            c_index = ghr & self._c_mask
+            self._choice[c_index] = _counter_update(self._choice[c_index], global_correct)
+
+        self._local_hist[lh_index] = ((lh << 1) | taken) & self._lp_mask
+        slot = ctx if self.per_context_history else 0
+        self._ghr[slot] = ((ghr << 1) | taken) & self._c_mask
+
+        self.predictions += 1
+        if predicted is not None and predicted != taken:
+            self.mispredictions += 1
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of trained conditional branches that were mispredicted."""
+        return self.mispredictions / self.predictions if self.predictions else 0.0

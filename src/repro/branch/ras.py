@@ -1,0 +1,44 @@
+"""Per-context return-address stacks.
+
+SMT replicates subroutine-return prediction per hardware context (one of the
+paper's listed per-context mechanisms), so each context owns a small
+circular stack: calls push their return PC, returns pop a predicted target.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """A fixed-depth return-address predictor for one hardware context."""
+
+    def __init__(self, depth: int = 12) -> None:
+        if depth < 1:
+            raise ValueError("return stack needs depth >= 1")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        """Record the return address of a call."""
+        if len(self._stack) >= self.depth:
+            # Circular overwrite: drop the oldest entry.
+            del self._stack[0]
+        self._stack.append(return_pc)
+        self.pushes += 1
+
+    def pop(self) -> int | None:
+        """Predict the target of a return; None when the stack is empty."""
+        self.pops += 1
+        if self._stack:
+            return self._stack.pop()
+        self.underflows += 1
+        return None
+
+    def clear(self) -> None:
+        """Discard all entries (context reassigned to a new thread)."""
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run specint --cpu smt --instructions 200000
+    python -m repro table 4
+    python -m repro figure 6
+    python -m repro report --out EXPERIMENTS_GENERATED.md
+    python -m repro list
+
+``table`` and ``figure`` regenerate one of the paper's exhibits from the
+memoized canonical runs (the first invocation per process pays the
+simulation cost; ``REPRO_BUDGET_MULT`` scales it).  ``report`` regenerates
+every exhibit and writes a combined report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import figures, metrics, tables
+from repro.analysis.experiments import get_run
+from repro.analysis.paper import build_comparison, render_markdown
+
+
+def _cmd_run(args) -> int:
+    rec = get_run(args.workload, args.cpu, args.os_mode,
+                  instructions=args.instructions, seed=args.seed)
+    w = rec.steady
+    shares = metrics.class_shares(w)
+    print(f"workload={args.workload} cpu={args.cpu} os_mode={args.os_mode}")
+    print(f"steady-state window: {w['retired']:,} instructions, "
+          f"{w['cycles']:,} cycles")
+    print(f"IPC                 {metrics.ipc(w):.2f}")
+    print(f"cycles by class     " + "  ".join(
+        f"{k}={v * 100:.1f}%" for k, v in shares.items()))
+    print(f"L1I miss            {metrics.miss_rate(w, 'L1I') * 100:.2f}%")
+    print(f"L1D miss            {metrics.miss_rate(w, 'L1D') * 100:.2f}%")
+    print(f"L2 miss             {metrics.miss_rate(w, 'L2') * 100:.2f}%")
+    print(f"DTLB miss           {metrics.miss_rate(w, 'DTLB') * 100:.2f}%")
+    print(f"branch mispredict   {metrics.cond_mispredict_rate(w) * 100:.2f}%")
+    print(f"squashed            {metrics.squash_fraction(w) * 100:.1f}% of fetched")
+    return 0
+
+
+def _table(number: int) -> dict:
+    if number == 2:
+        return tables.table2(get_run("specint", "smt", "full"))
+    if number == 3:
+        return tables.table3(get_run("specint", "smt", "full"))
+    if number == 4:
+        return tables.table4(
+            get_run("specint", "smt", "app"), get_run("specint", "smt", "full"),
+            get_run("specint", "ss", "app"), get_run("specint", "ss", "full"))
+    if number == 5:
+        return tables.table5(get_run("apache", "smt", "full"))
+    if number == 6:
+        return tables.table6(get_run("apache", "smt", "full"),
+                             get_run("specint", "smt", "full"),
+                             get_run("apache", "ss", "full"))
+    if number == 7:
+        return tables.table7(get_run("apache", "smt", "full"))
+    if number == 8:
+        return tables.table8(get_run("apache", "smt", "full"),
+                             get_run("apache", "ss", "full"))
+    if number == 9:
+        return tables.table9(
+            get_run("apache", "smt", "omit"), get_run("apache", "smt", "full"),
+            get_run("apache", "ss", "omit"), get_run("apache", "ss", "full"))
+    raise SystemExit(f"no such table: {number} (the paper has Tables 2-9)")
+
+
+def _figure(number: int) -> dict:
+    specint = lambda: get_run("specint", "smt", "full")  # noqa: E731
+    apache = lambda: get_run("apache", "smt", "full")  # noqa: E731
+    if number == 1:
+        return figures.fig1(specint())
+    if number == 2:
+        return figures.fig2(specint())
+    if number == 3:
+        return figures.fig3(specint())
+    if number == 4:
+        return figures.fig4(specint())
+    if number == 5:
+        return figures.fig5(apache())
+    if number == 6:
+        return figures.fig6(apache(), specint())
+    if number == 7:
+        return figures.fig7(apache())
+    raise SystemExit(f"no such figure: {number} (the paper has Figures 1-7)")
+
+
+def _cmd_table(args) -> int:
+    print(_table(args.number)["text"])
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    print(_figure(args.number)["text"])
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report
+
+    report = build_report()
+    if args.out:
+        report.write(args.out, exhibits_dir=args.exhibits_dir)
+        print(f"wrote {args.out} "
+              f"({report.shape_criteria_held}/{report.shape_criteria_total} "
+              "shape criteria hold)")
+    else:
+        print(report.text)
+    return 0
+
+
+def _canonical_records() -> dict:
+    return {
+        "specint-smt-full": get_run("specint", "smt", "full"),
+        "specint-smt-app": get_run("specint", "smt", "app"),
+        "specint-ss-full": get_run("specint", "ss", "full"),
+        "specint-ss-app": get_run("specint", "ss", "app"),
+        "apache-smt-full": get_run("apache", "smt", "full"),
+        "apache-ss-full": get_run("apache", "ss", "full"),
+        "apache-smt-omit": get_run("apache", "smt", "omit"),
+    }
+
+
+def _cmd_compare(args) -> int:
+    rows = build_comparison(_canonical_records())
+    body = render_markdown(rows)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(body + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(body)
+    failed = [r for r in rows if not r.holds]
+    print(f"\n{len(rows) - len(failed)}/{len(rows)} shape criteria hold")
+    return 1 if failed and args.strict else 0
+
+
+def _cmd_list(args) -> int:
+    print("Canonical runs (workload x cpu x os_mode):")
+    for wl in ("specint", "apache"):
+        for cpu in ("smt", "ss"):
+            modes = ("full", "app") if wl == "specint" else ("full", "omit")
+            for mode in modes:
+                print(f"  {wl:8s} {cpu:4s} {mode}")
+    print("\nExhibits: figures 1-7, tables 2-9 "
+          "(Table 1 is the machine configuration; see repro.core.config).")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'An Analysis of Operating System "
+                     "Behavior on a Simultaneous Multithreaded Architecture' "
+                     "(ASPLOS 2000)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one canonical simulation")
+    p_run.add_argument("workload", choices=["specint", "apache"])
+    p_run.add_argument("--cpu", choices=["smt", "ss"], default="smt")
+    p_run.add_argument("--os-mode", choices=["full", "app", "omit"],
+                       default="full", dest="os_mode")
+    p_run.add_argument("--instructions", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=11)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_table = sub.add_parser("table", help="regenerate one paper table (2-9)")
+    p_table.add_argument("number", type=int)
+    p_table.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure (1-7)")
+    p_fig.add_argument("number", type=int)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_rep = sub.add_parser("report", help="regenerate every table and figure")
+    p_rep.add_argument("--out", default=None)
+    p_rep.add_argument("--exhibits-dir", default=None, dest="exhibits_dir",
+                       help="also write one file per exhibit here")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser(
+        "compare", help="paper-vs-measured shape comparison (EXPERIMENTS.md)")
+    p_cmp.add_argument("--out", default=None)
+    p_cmp.add_argument("--strict", action="store_true",
+                       help="exit nonzero when a shape criterion fails")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_list = sub.add_parser("list", help="list runs and exhibits")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The SMT / out-of-order superscalar processor core.
+
+This package implements the paper's Table 1 machine: ICOUNT-2.8 fetch over
+8 hardware contexts, register renaming limits, 32-entry integer and FP issue
+queues, 6 integer (4 load/store, 2 synchronization) and 4 FP functional
+units, 12-wide in-order-per-context retirement, per-context squash on branch
+misprediction, and the superscalar variant (one context, two fewer pipeline
+stages) used as the comparison baseline.
+"""
+
+from repro.core.config import CPUConfig, MachineConfig
+from repro.core.stats import SimStats, service_class
+from repro.core.processor import Processor
+from repro.core.simulator import Simulation, SimResult
+
+__all__ = [
+    "CPUConfig",
+    "MachineConfig",
+    "SimStats",
+    "service_class",
+    "Processor",
+    "Simulation",
+    "SimResult",
+]

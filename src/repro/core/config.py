@@ -1,0 +1,98 @@
+"""Machine configuration (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.hierarchy import MemoryConfig
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Processor-core parameters.
+
+    Defaults describe the 8-context SMT; :meth:`superscalar` returns the
+    paper's baseline: identical resources, one context, and two fewer
+    pipeline stages (its register file is smaller).
+    """
+
+    n_contexts: int = 8
+    fetch_width: int = 8
+    fetch_contexts: int = 2  # the 2.8 ICOUNT scheme of Tullsen et al.
+    pipeline_stages: int = 9
+    int_queue: int = 32
+    fp_queue: int = 32
+    int_units: int = 6
+    ls_units: int = 4
+    sync_units: int = 2
+    fp_units: int = 4
+    rename_registers: int = 100
+    retire_width: int = 12
+    ras_depth: int = 12
+    #: BTB geometry.  Scaled by 1/8 with the caches (see DESIGN.md); the
+    #: paper-scale machine uses 1024 entries.
+    btb_entries: int = 128
+    btb_assoc: int = 4
+    #: Fetch-choice policy: "icount" (the paper's ICOUNT 2.8) or
+    #: "round_robin" (the ablation baseline).
+    fetch_policy: str = "icount"
+    #: Ablation: give each hardware context its own global-history register
+    #: instead of the shared one the paper's SMT models (whose interleaved
+    #: updates are part of why SMT mispredicts more than the superscalar).
+    per_context_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_contexts < 1:
+            raise ValueError("need at least one hardware context")
+        if self.fetch_contexts < 1 or self.fetch_contexts > self.n_contexts:
+            raise ValueError("fetch_contexts must be in [1, n_contexts]")
+        if self.ls_units > self.int_units:
+            raise ValueError("load/store units are a subset of integer units")
+        if self.fetch_policy not in ("icount", "round_robin"):
+            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+
+    @classmethod
+    def superscalar(cls) -> "CPUConfig":
+        """The out-of-order superscalar baseline of Tables 4 and 6."""
+        return cls(n_contexts=1, fetch_contexts=1, pipeline_stages=7)
+
+    @property
+    def decode_delay(self) -> int:
+        """Cycles between fetch and issue-queue entry (front-end depth)."""
+        return max(1, self.pipeline_stages - 5)
+
+    @property
+    def inflight_limit(self) -> int:
+        """Maximum unretired instructions (renaming-register bound)."""
+        return self.rename_registers + self.int_queue
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated machine: core + memory system."""
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    @classmethod
+    def smt(cls) -> "MachineConfig":
+        """The paper's 8-context SMT (scaled memory geometry)."""
+        return cls()
+
+    @classmethod
+    def superscalar(cls) -> "MachineConfig":
+        """The paper's superscalar baseline (same memory system)."""
+        return cls(cpu=CPUConfig.superscalar())
+
+    @classmethod
+    def paper_scale(cls) -> "MachineConfig":
+        """The literal Table 1 machine: 128KB L1s, 16MB L2, 1K-entry BTB.
+
+        Workload footprints in :mod:`repro.workloads` are calibrated for the
+        default 1/8-scaled geometry; runs at paper scale are useful for
+        sensitivity studies, not for reproducing the paper's rates.
+        """
+        return cls(
+            cpu=CPUConfig(btb_entries=1024),
+            memory=MemoryConfig.paper_scale(),
+        )

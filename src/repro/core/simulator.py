@@ -1,0 +1,110 @@
+"""Top-level simulation driver.
+
+A :class:`Simulation` assembles one machine -- memory hierarchy, MiniDUX
+kernel, processor core -- boots a workload onto it, and runs for a given
+number of retired instructions.  The returned :class:`SimResult` carries
+references to every subsystem so the analysis layer can extract any of the
+paper's metrics from a single run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.core.processor import Processor
+from repro.core.stats import SimStats
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.os_model.kernel import MiniDUX, OSMode
+
+
+@dataclass
+class SimResult:
+    """Handles to every subsystem of a finished simulation."""
+
+    machine: MachineConfig
+    stats: SimStats
+    hierarchy: MemoryHierarchy
+    os: MiniDUX
+    processor: Processor
+    workload: object
+    os_mode: OSMode
+    cycles: int
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class Simulation:
+    """One simulated machine plus workload, ready to run."""
+
+    def __init__(
+        self,
+        workload,
+        machine: MachineConfig | None = None,
+        os_mode: OSMode = OSMode.FULL,
+        seed: int = 1,
+        quantum: int = 20_000,
+        timer_interval: int = 100_000,
+        tick_interval: int = 8,
+        omit_kernel_refs: bool = False,
+        timeline_interval: int = 8192,
+        tlb_flush_on_switch: bool = False,
+        spin_policy: str = "spin",
+    ) -> None:
+        self.machine = machine or MachineConfig.smt()
+        self.workload = workload
+        self.os_mode = os_mode
+        self.tick_interval = tick_interval
+        rng = random.Random(seed)
+        self.hierarchy = MemoryHierarchy(self.machine.memory)
+        self.hierarchy.omit_kernel_refs = omit_kernel_refs
+        self.os = MiniDUX(
+            self.hierarchy,
+            self.machine.cpu.n_contexts,
+            rng,
+            mode=os_mode,
+            quantum=quantum,
+            timer_interval=timer_interval,
+            seed=seed,
+            tlb_flush_on_switch=tlb_flush_on_switch,
+            spin_policy=spin_policy,
+        )
+        self.stats = SimStats(self.machine.cpu.n_contexts, timeline_interval)
+        self.processor = Processor(
+            self.machine.cpu, self.os.streams, self.hierarchy, self.stats, rng)
+        # Context switches invalidate the per-context return stacks.
+        self.os.switch_listeners.append(self.processor.branch_unit.clear_context)
+        workload.setup(self.os, self.hierarchy, random.Random(seed + 7919))
+        self._now = 0
+
+    def run(
+        self,
+        max_instructions: int = 300_000,
+        max_cycles: int | None = None,
+    ) -> SimResult:
+        """Run until *max_instructions* retire (or *max_cycles* elapse)."""
+        os_tick = self.os.tick
+        cycle = self.processor.cycle
+        stats = self.stats
+        tick_interval = self.tick_interval
+        now = self._now
+        limit_cycles = max_cycles if max_cycles is not None else (1 << 62)
+        while stats.retired < max_instructions and now < limit_cycles:
+            if now % tick_interval == 0:
+                os_tick(now)
+            cycle(now)
+            now += 1
+        self._now = now
+        return SimResult(
+            machine=self.machine,
+            stats=stats,
+            hierarchy=self.hierarchy,
+            os=self.os,
+            processor=self.processor,
+            workload=self.workload,
+            os_mode=self.os_mode,
+            cycles=now,
+        )

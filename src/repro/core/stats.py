@@ -1,0 +1,174 @@
+"""Simulation statistics.
+
+Collects everything the paper's tables and figures need:
+
+* retired-instruction counts by mode, service, category, and addressing
+  (Tables 2 and 5);
+* per-service *cycle* attribution: each cycle, each hardware context charges
+  its cycle share to the service it is working on, so slow (stall-heavy)
+  services weigh more than their instruction counts (Figures 1-7);
+* fetch/issue utilization: 0-fetch, 0-issue and max-issue cycles, average
+  fetchable contexts, squash counts (Tables 4 and 6);
+* a timeline of mode-class shares for the time-series figures.
+"""
+
+from __future__ import annotations
+
+from repro.isa.types import InstrType, Mode
+
+#: Mode classes used by the time-series figures.
+CLASS_USER = 0
+CLASS_KERNEL = 1
+CLASS_PAL = 2
+CLASS_IDLE = 3
+
+CLASS_NAMES = ("user", "kernel", "pal", "idle")
+
+_SERVICE_CLASS_CACHE: dict[str, int] = {}
+
+
+def service_class(service: str) -> int:
+    """Map an attribution label to user/kernel/pal/idle."""
+    cls = _SERVICE_CLASS_CACHE.get(service)
+    if cls is None:
+        if service == "user":
+            cls = CLASS_USER
+        elif service == "idle":
+            cls = CLASS_IDLE
+        elif service.startswith("pal:"):
+            cls = CLASS_PAL
+        else:
+            cls = CLASS_KERNEL
+        _SERVICE_CLASS_CACHE[service] = cls
+    return cls
+
+
+class SimStats:
+    """Mutable statistics accumulator for one simulation."""
+
+    def __init__(self, n_contexts: int, timeline_interval: int = 8192) -> None:
+        self.n_contexts = n_contexts
+        self.timeline_interval = timeline_interval
+
+        self.cycles = 0
+        self.fetched = 0
+        self.squashed = 0
+        self.retired = 0
+
+        # Retired-instruction breakdowns.
+        self.retired_by_mode = [0, 0, 0]  # USER, KERNEL, PAL
+        self.itype_by_mode: dict[tuple[int, int], int] = {}
+        self.phys_mem_by_mode = [0, 0, 0]
+        self.mem_by_mode = [0, 0, 0]
+        self.cond_taken_by_mode = [0, 0, 0]
+        self.cond_by_mode = [0, 0, 0]
+        self.retired_by_service: dict[str, int] = {}
+
+        # Cycle attribution: context-cycles charged per service.
+        self.service_cycles: dict[str, int] = {}
+        self.class_cycles = [0, 0, 0, 0]
+
+        # Fetch/issue utilization.
+        self.zero_fetch_cycles = 0
+        self.zero_issue_cycles = 0
+        self.max_issue_cycles = 0
+        self.fetchable_context_sum = 0
+        self.queue_full_stalls = 0
+        self.inflight_limit_stalls = 0
+
+        # Timeline for Figures 1 and 5: (cycle, per-class share) samples.
+        self.timeline: list[tuple[int, tuple[float, float, float, float]]] = []
+        self._window = [0, 0, 0, 0]
+        self._next_sample = timeline_interval
+
+    # -- per-cycle hooks ------------------------------------------------------
+
+    def charge_cycle(self, services: list[str]) -> None:
+        """Charge one cycle, attributed per context to *services*."""
+        self.cycles += 1
+        sc = self.service_cycles
+        window = self._window
+        classes = self.class_cycles
+        for svc in services:
+            sc[svc] = sc.get(svc, 0) + 1
+            cls = service_class(svc)
+            classes[cls] += 1
+            window[cls] += 1
+        if self.cycles >= self._next_sample:
+            total = sum(window) or 1
+            self.timeline.append(
+                (self.cycles, tuple(w / total for w in window))
+            )
+            self._window = [0, 0, 0, 0]
+            self._next_sample = self.cycles + self.timeline_interval
+
+    # -- retirement -------------------------------------------------------------
+
+    def retire(self, instr) -> None:
+        """Account one retired instruction."""
+        self.retired += 1
+        mode = instr.mode
+        self.retired_by_mode[mode] += 1
+        key = (mode, instr.itype)
+        self.itype_by_mode[key] = self.itype_by_mode.get(key, 0) + 1
+        svc = instr.service
+        self.retired_by_service[svc] = self.retired_by_service.get(svc, 0) + 1
+        itype = instr.itype
+        if itype is InstrType.LOAD or itype is InstrType.STORE or itype is InstrType.SYNC:
+            self.mem_by_mode[mode] += 1
+            if instr.phys:
+                self.phys_mem_by_mode[mode] += 1
+        elif itype is InstrType.COND_BRANCH:
+            self.cond_by_mode[mode] += 1
+            if instr.taken:
+                self.cond_taken_by_mode[mode] += 1
+
+    # -- derived metrics --------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def squash_fraction(self) -> float:
+        """Squashed instructions as a fraction of instructions fetched."""
+        return self.squashed / self.fetched if self.fetched else 0.0
+
+    @property
+    def avg_fetchable_contexts(self) -> float:
+        """Mean number of contexts eligible to fetch per cycle."""
+        return self.fetchable_context_sum / self.cycles if self.cycles else 0.0
+
+    def cycle_share(self, service_prefix: str) -> float:
+        """Fraction of context-cycles charged to services with a prefix."""
+        total = sum(self.service_cycles.values())
+        if not total:
+            return 0.0
+        matched = sum(
+            v for k, v in self.service_cycles.items() if k.startswith(service_prefix)
+        )
+        return matched / total
+
+    def class_share(self, cls: int) -> float:
+        """Fraction of context-cycles in a mode class (user/kernel/pal/idle)."""
+        total = sum(self.class_cycles)
+        return self.class_cycles[cls] / total if total else 0.0
+
+    def mode_instruction_mix(self, mode: Mode) -> dict[InstrType, float]:
+        """Retired-instruction category shares within one mode."""
+        total = self.retired_by_mode[mode]
+        if not total:
+            return {}
+        return {
+            itype: count / total
+            for (m, itype), count in self.itype_by_mode.items()
+            if m == mode
+        }
+
+    def service_cycle_shares(self) -> dict[str, float]:
+        """Every service's share of total context-cycles."""
+        total = sum(self.service_cycles.values())
+        if not total:
+            return {}
+        return {k: v / total for k, v in self.service_cycles.items()}

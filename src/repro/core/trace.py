@@ -1,0 +1,101 @@
+"""Pipeline event tracing.
+
+A :class:`TraceRecorder` can be attached to a
+:class:`~repro.core.processor.Processor` (``processor.tracer = recorder``)
+to capture fetch / retire / squash events into a bounded ring buffer for
+debugging and for fine-grained analyses the aggregate statistics cannot
+answer ("what exactly ran on context 3 around cycle 12000?").
+
+Tracing costs one attribute check per event when disabled, so the default
+``tracer = None`` keeps the hot loop unperturbed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+
+FETCH = "F"
+RETIRE = "R"
+SQUASH = "Q"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline event."""
+
+    cycle: int
+    kind: str       # FETCH / RETIRE / SQUASH
+    ctx: int
+    pc: int
+    service: str
+    itype: str
+
+    def format(self) -> str:
+        return (f"{self.cycle:>10d} {self.kind} ctx{self.ctx} "
+                f"{self.pc:#014x} {self.itype:<14s} {self.service}")
+
+
+class TraceRecorder:
+    """Bounded ring buffer of pipeline events with optional filtering.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (oldest dropped first).
+    kinds:
+        Event kinds to record (default: all three).
+    services:
+        When given, only events whose service label starts with one of
+        these prefixes are recorded (e.g. ``("syscall:", "netisr")``).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        kinds: tuple[str, ...] = (FETCH, RETIRE, SQUASH),
+        services: tuple[str, ...] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self.kinds = frozenset(kinds)
+        self.services = services
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, cycle: int, kind: str, ctx: int, instr: Instruction) -> None:
+        """Record one event (no-op when filtered out)."""
+        if kind not in self.kinds:
+            return
+        service = instr.service
+        if self.services is not None and not any(
+                service.startswith(p) for p in self.services):
+            return
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(TraceEvent(
+            cycle, kind, ctx, instr.pc, service, instr.itype.name))
+        self.recorded += 1
+
+    def window(self, start_cycle: int, end_cycle: int) -> list[TraceEvent]:
+        """Events whose cycle falls in [start_cycle, end_cycle)."""
+        return [e for e in self.events if start_cycle <= e.cycle < end_cycle]
+
+    def by_service(self, prefix: str) -> list[TraceEvent]:
+        """Events whose service label starts with *prefix*."""
+        return [e for e in self.events if e.service.startswith(prefix)]
+
+    def dump(self, limit: int | None = None) -> str:
+        """Render the (tail of the) trace as text."""
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
+        header = f"{'cycle':>10s} K ctx  {'pc':<14s} {'type':<14s} service"
+        return "\n".join([header] + [e.format() for e in events])
+
+    def __len__(self) -> int:
+        return len(self.events)

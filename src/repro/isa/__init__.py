@@ -1,0 +1,31 @@
+"""Synthetic Alpha-like instruction model.
+
+The simulator does not execute real Alpha binaries.  Instead, workloads and
+operating-system services are *stochastic programs*: synthetic control-flow
+graphs walked at run time, emitting instructions whose category mix, branch
+behavior, and memory reference streams are calibrated to the characteristics
+published in the paper (its Tables 2 and 5).  Cache, TLB, and branch-predictor
+behavior then *emerges* from the generated program counter and data-address
+streams.
+"""
+
+from repro.isa.types import InstrType, Mode, BRANCH_TYPES, MEMORY_TYPES
+from repro.isa.instruction import Instruction
+from repro.isa.mix import InstructionMix, BranchProfile
+from repro.isa.code import CodeModel, CodeModelConfig, CodeWalker
+from repro.isa.data import DataModel, Region
+
+__all__ = [
+    "InstrType",
+    "Mode",
+    "BRANCH_TYPES",
+    "MEMORY_TYPES",
+    "Instruction",
+    "InstructionMix",
+    "BranchProfile",
+    "CodeModel",
+    "CodeModelConfig",
+    "CodeWalker",
+    "DataModel",
+    "Region",
+]

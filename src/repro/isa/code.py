@@ -1,0 +1,414 @@
+"""Synthetic code models: static control-flow graphs walked at run time.
+
+A :class:`CodeModel` is the stand-in for a program's (or kernel's) text
+segment.  It is a set of basic blocks laid out at consecutive program-counter
+values.  Each block carries a statically generated body (a tuple of
+instruction categories and dependence flags) and ends in exactly one control
+transfer whose behavior (taken bias, target set) was fixed when the model was
+built -- just like static code.
+
+Walking the graph therefore produces:
+
+* a PC stream with genuine spatial and temporal locality (hot loop regions,
+  cold excursions) that drives the instruction cache and ITLB;
+* branch-site streams with stable per-site biases that a real McFarling
+  predictor and BTB can learn (or fail to learn);
+* instruction-category sequences matching a calibrated mix.
+
+Models may be divided into *segments* -- disjoint block ranges whose control
+transfers stay inside the segment.  The kernel model uses one segment per OS
+service, which reproduces the paper's locality contrast: SPECInt kernel time
+concentrates in the TLB-refill segment (good I-cache locality) while Apache
+spreads across many services (poor locality).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.mix import BASE_LATENCY, InstructionMix
+from repro.isa.types import InstrType, Mode
+
+# Terminator encodings (plain ints for speed).
+TERM_COND = 0
+TERM_UNCOND = 1
+TERM_INDIRECT = 2
+TERM_CALL = 3
+TERM_RETURN = 4
+
+_TERM_ITYPE = {
+    TERM_COND: InstrType.COND_BRANCH,
+    TERM_UNCOND: InstrType.UNCOND_BRANCH,
+    TERM_INDIRECT: InstrType.INDIRECT_JUMP,
+    TERM_CALL: InstrType.CALL,
+    TERM_RETURN: InstrType.RETURN,
+}
+
+#: Bimodal conditional-branch bias extremes.  The mixture weight between them
+#: is solved from the mix's target taken rate.
+_HI_BIAS = 0.96
+_LO_BIAS = 0.06
+
+_MAX_CALL_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One contiguous, control-flow-closed region of a code model."""
+
+    name: str
+    n_blocks: int
+    hot_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 2:
+            raise ValueError(f"segment {self.name!r} needs >= 2 blocks")
+        if not 1 <= self.hot_blocks <= self.n_blocks:
+            raise ValueError(
+                f"segment {self.name!r}: hot_blocks must be in [1, n_blocks]"
+            )
+
+
+@dataclass(frozen=True)
+class CodeModelConfig:
+    """Build-time parameters of a code model."""
+
+    name: str
+    base_pc: int
+    mix: InstructionMix
+    segments: tuple[SegmentSpec, ...] = (SegmentSpec("main", 256, 32),)
+    #: Probability that a cold block's branch leads back toward the hot set.
+    return_to_hot: float = 0.6
+    #: Probability that a hot block's conditional branch targets the cold
+    #: region (rare excursions out of the loop nest).
+    cold_excursion: float = 0.04
+    #: Probability that an executed indirect jump switches to another of its
+    #: static targets (drives BTB target mispredictions).
+    indirect_switch: float = 0.2
+    #: Per-terminator probability of a random jump within the hot set.
+    #: Static random targets can form tiny absorbing orbits (two blocks
+    #: whose unconditional branches point at each other); this perturbation
+    #: models the data-dependent control flow a real program has and keeps
+    #: the walk ergodic over the hot region.
+    ergodic_jump: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("code model needs at least one segment")
+
+
+@dataclass
+class _Segment:
+    """Resolved segment: block index range plus hot sub-range."""
+
+    name: str
+    start: int
+    end: int  # exclusive
+    hot_end: int  # exclusive; hot blocks are [start, hot_end)
+
+
+class _Stratifier:
+    """Low-discrepancy weighted assignment via Bresenham credit counters.
+
+    Each call to :meth:`next` returns the item whose accumulated credit is
+    highest, then debits one unit -- so every window of N consecutive draws
+    contains each item close to ``weight * N`` times.  Initial credits are
+    randomly phased so different models interleave items differently.
+    """
+
+    def __init__(self, weighted_items, rng: random.Random) -> None:
+        items = [(item, w) for item, w in weighted_items if w > 0]
+        if not items:
+            raise ValueError("stratifier needs at least one positive weight")
+        total = sum(w for _, w in items)
+        self._items = [item for item, _ in items]
+        self._weights = [w / total for _, w in items]
+        self._credits = [rng.random() * w for w in self._weights]
+
+    def next(self):
+        credits = self._credits
+        weights = self._weights
+        best = 0
+        for i in range(len(credits)):
+            credits[i] += weights[i]
+            if credits[i] > credits[best]:
+                best = i
+        credits[best] -= 1.0
+        return self._items[best]
+
+
+class CodeModel:
+    """A built synthetic text segment (see module docstring)."""
+
+    def __init__(self, config: CodeModelConfig) -> None:
+        self.config = config
+        self.name = config.name
+        rng = random.Random((config.seed ^ zlib.crc32(config.name.encode())) & 0xFFFFFFFF)
+        self._build(rng)
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, rng: random.Random) -> None:
+        cfg = self.config
+        mix = cfg.mix
+        profile = mix.branches
+
+        self.segments: dict[str, _Segment] = {}
+        n_total = sum(s.n_blocks for s in cfg.segments)
+        self.n_blocks = n_total
+
+        # Per-block static data.
+        self.block_pc: list[int] = [0] * n_total
+        self.block_body: list[tuple[tuple[InstrType, bool, bool], ...]] = [()] * n_total
+        self.term_type: list[int] = [0] * n_total
+        self.taken_prob: list[float] = [0.0] * n_total
+        self.target: list[int] = [0] * n_total
+        self.indirect_targets: list[tuple[int, ...]] = [()] * n_total
+        self.indirect_cursor: list[int] = [0] * n_total  # mutable run-time state
+        self.fallthrough: list[int] = [0] * n_total
+
+        # Solve the bimodal mixture weight for the target taken rate.
+        want = min(max(profile.cond_taken, _LO_BIAS), _HI_BIAS)
+        loop_frac = (want - _LO_BIAS) / (_HI_BIAS - _LO_BIAS)
+
+        # Stratified assignment (Bresenham-style credit counters) for body
+        # categories, terminator types, and conditional-branch biases.  A
+        # walker visits only a segment's hot prefix, so the *composition of
+        # every contiguous block window* must match the target mix; random
+        # i.i.d. draws leave small, heavily-executed segments with wildly
+        # skewed dynamic mixes (a 15-block TLB-refill handler could come out
+        # all-loads or all-taken by chance).
+        body_strat = _Stratifier(mix.body_weights(), rng)
+        term_strat = _Stratifier(
+            [
+                (TERM_UNCOND, profile.uncond),
+                (TERM_INDIRECT, profile.indirect),
+                (TERM_CALL, profile.call),
+                (TERM_RETURN, profile.ret),
+                (TERM_COND, profile.cond),
+            ],
+            rng,
+        )
+        bias_strat = _Stratifier([(True, loop_frac), (False, 1.0 - loop_frac)], rng)
+
+        mean_len = mix.mean_block_len
+        dep_prob = mix.dep_prob
+        phys_frac = mix.phys_frac
+
+        pc = cfg.base_pc
+        start = 0
+        for spec in cfg.segments:
+            seg = _Segment(spec.name, start, start + spec.n_blocks, start + spec.hot_blocks)
+            self.segments[spec.name] = seg
+            start = seg.end
+
+        for seg in self.segments.values():
+            for b in range(seg.start, seg.end):
+                length = max(3, round(rng.gauss(mean_len, mean_len * 0.25)))
+                body = []
+                for _ in range(length - 1):
+                    itype = body_strat.next()
+                    dep = rng.random() < dep_prob.get(itype, 0.3)
+                    phys = (
+                        itype in (InstrType.LOAD, InstrType.STORE, InstrType.SYNC)
+                        and rng.random() < phys_frac
+                    )
+                    body.append((itype, dep, phys))
+                self.block_pc[b] = pc
+                self.block_body[b] = tuple(body)
+                pc += length * 4
+
+                term = term_strat.next()
+                self.term_type[b] = term
+                self.fallthrough[b] = b + 1 if b + 1 < seg.end else seg.start
+                if term == TERM_COND:
+                    is_loopy = bias_strat.next()
+                    self.taken_prob[b] = (
+                        rng.uniform(_HI_BIAS - 0.03, _HI_BIAS + 0.03)
+                        if is_loopy
+                        else rng.uniform(_LO_BIAS - 0.04, _LO_BIAS + 0.06)
+                    )
+                    self.taken_prob[b] = min(0.99, max(0.01, self.taken_prob[b]))
+                    self.target[b] = self._pick_target(rng, seg, b)
+                elif term == TERM_UNCOND:
+                    self.target[b] = self._pick_target(rng, seg, b)
+                elif term == TERM_INDIRECT:
+                    k = max(1, profile.indirect_targets)
+                    self.indirect_targets[b] = tuple(
+                        self._pick_target(rng, seg, b) for _ in range(k)
+                    )
+                elif term == TERM_CALL:
+                    self.target[b] = self._pick_target(rng, seg, b)
+                # TERM_RETURN needs no target: the walker's call stack decides.
+
+        self.text_bytes = pc - cfg.base_pc
+
+    def _pick_target(self, rng: random.Random, seg: _Segment, block: int) -> int:
+        """Choose a branch target inside *seg* with hot/cold structure."""
+        cfg = self.config
+        in_hot = block < seg.hot_end
+        hot_n = seg.hot_end - seg.start
+        cold_n = seg.end - seg.hot_end
+        if in_hot:
+            if cold_n and rng.random() < cfg.cold_excursion:
+                return rng.randrange(seg.hot_end, seg.end)
+            # Uniform target over the hot set: the resulting
+            # random walk visits hot blocks near-uniformly, which keeps the
+            # dynamic instruction mix close to the static one.
+            return rng.randrange(seg.start, seg.hot_end)
+        # Cold block: usually head back toward the hot set.
+        if hot_n and rng.random() < cfg.return_to_hot:
+            return rng.randrange(seg.start, seg.hot_end)
+        if cold_n:
+            return rng.randrange(seg.hot_end, seg.end)
+        return rng.randrange(seg.start, seg.hot_end)
+
+    # -- queries -----------------------------------------------------------
+
+    def entry(self, segment: str = "main") -> int:
+        """Entry block index of *segment*."""
+        return self.segments[segment].start
+
+    def segment_of(self, block: int) -> str:
+        """Name of the segment containing *block*."""
+        for seg in self.segments.values():
+            if seg.start <= block < seg.end:
+                return seg.name
+        raise IndexError(block)
+
+
+class CodeWalker:
+    """Per-thread execution cursor over a :class:`CodeModel`.
+
+    Multiple walkers may share one model (Apache's 64 server processes share
+    the Apache text; every kernel thread shares the kernel text), which is
+    what creates shared-text instruction-cache behavior.  Each walker owns
+    its position, call stack, and data-address generator.
+    """
+
+    __slots__ = (
+        "model",
+        "rng",
+        "data",
+        "mode",
+        "service",
+        "thread_id",
+        "asn",
+        "block",
+        "slot",
+        "call_stack",
+        "_body",
+        "_seg",
+    )
+
+    def __init__(
+        self,
+        model: CodeModel,
+        rng: random.Random,
+        data,
+        mode: Mode,
+        service: str,
+        thread_id: int,
+        asn: int,
+        segment: str | None = None,
+    ) -> None:
+        self.model = model
+        self.rng = rng
+        self.data = data
+        self.mode = mode
+        self.service = service
+        self.thread_id = thread_id
+        self.asn = asn
+        if segment is None:
+            segment = next(iter(model.segments))
+        seg = model.segments[segment]
+        self._seg = seg
+        self.block = seg.start
+        self.slot = 0
+        self.call_stack: list[int] = []
+        self._body = model.block_body[self.block]
+
+    def jump_to(self, segment: str) -> None:
+        """Reset the walker to the entry of *segment* (service dispatch)."""
+        seg = self.model.segments[segment]
+        self._seg = seg
+        self.block = seg.start
+        self.slot = 0
+        self.call_stack.clear()
+        self._body = self.model.block_body[self.block]
+
+    def next_instruction(self) -> Instruction:
+        """Emit the next dynamic instruction of this thread's walk."""
+        m = self.model
+        if self.slot < len(self._body):
+            itype, dep, phys = self._body[self.slot]
+            pc = m.block_pc[self.block] + self.slot * 4
+            self.slot += 1
+            addr = None
+            if itype is InstrType.LOAD or itype is InstrType.STORE or itype is InstrType.SYNC:
+                addr, phys = self.data.next(itype is not InstrType.LOAD, phys)
+            return Instruction(
+                itype,
+                self.mode,
+                self.service,
+                pc,
+                addr=addr,
+                phys=phys,
+                dep=dep,
+                latency=BASE_LATENCY[itype],
+                thread_id=self.thread_id,
+                asn=self.asn,
+            )
+        return self._terminator()
+
+    def _terminator(self) -> Instruction:
+        m = self.model
+        b = self.block
+        pc = m.block_pc[b] + self.slot * 4
+        term = m.term_type[b]
+        taken = True
+        if term == TERM_COND:
+            taken = self.rng.random() < m.taken_prob[b]
+            nxt = m.target[b] if taken else m.fallthrough[b]
+        elif term == TERM_UNCOND:
+            nxt = m.target[b]
+        elif term == TERM_INDIRECT:
+            targets = m.indirect_targets[b]
+            if len(targets) > 1 and self.rng.random() < m.config.indirect_switch:
+                m.indirect_cursor[b] = (m.indirect_cursor[b] + 1) % len(targets)
+            nxt = targets[m.indirect_cursor[b]]
+        elif term == TERM_CALL:
+            nxt = m.target[b]
+            if len(self.call_stack) < _MAX_CALL_DEPTH:
+                self.call_stack.append(m.fallthrough[b])
+        else:  # TERM_RETURN
+            if self.call_stack:
+                nxt = self.call_stack.pop()
+            else:
+                nxt = m.fallthrough[b]
+        if self.rng.random() < m.config.ergodic_jump:
+            seg = self._seg
+            nxt = self.rng.randrange(seg.start, seg.hot_end)
+            if term == TERM_COND:
+                taken = True
+        itype = _TERM_ITYPE[term]
+        instr = Instruction(
+            itype,
+            self.mode,
+            self.service,
+            pc,
+            taken=taken,
+            target=m.block_pc[nxt],
+            dep=self.rng.random() < self.model.config.mix.dep_prob.get(itype, 0.3),
+            latency=1,
+            thread_id=self.thread_id,
+            asn=self.asn,
+        )
+        self.block = nxt
+        self.slot = 0
+        self._body = m.block_body[nxt]
+        return instr

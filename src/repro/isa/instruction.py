@@ -1,0 +1,157 @@
+"""The dynamic instruction record that flows through the pipeline.
+
+An :class:`Instruction` is produced by a workload / OS instruction source and
+carries both its *program* properties (category, PC, data address, actual
+branch outcome) and its *pipeline* state (fetch cycle, readiness, completion,
+squash flag).  Keeping pipeline state on the instruction object avoids a
+second per-instruction allocation in the simulator's hot loop.
+"""
+
+from __future__ import annotations
+
+from repro.isa.types import InstrType, Mode
+
+# Pipeline state encodings (kept as plain ints for speed).
+ST_FETCHED = 0
+ST_QUEUED = 1
+ST_ISSUED = 2
+ST_COMPLETED = 3
+ST_RETIRED = 4
+ST_SQUASHED = 5
+
+
+class Instruction:
+    """One dynamic instruction.
+
+    Parameters
+    ----------
+    itype:
+        Instruction category (:class:`~repro.isa.types.InstrType`).
+    mode:
+        Execution mode (user / kernel / PAL).
+    service:
+        Attribution label used by the measurement layer, e.g. ``"user"``,
+        ``"syscall:read"``, ``"pal:dtlb_miss"``, ``"netisr"``, ``"idle"``.
+    pc:
+        Virtual program counter.
+    addr:
+        Effective data address for memory operations, else ``None``.
+    phys:
+        True when a kernel memory operation specifies a physical address
+        directly and therefore bypasses the DTLB (the paper reports 35-68%
+        of kernel memory operations do this).
+    taken / target:
+        Actual outcome of a control transfer.
+    dep:
+        True when this instruction consumes the result of the immediately
+        preceding instruction in the same software thread.  The probabilistic
+        dependence chain is what limits single-thread ILP.
+    latency:
+        Base functional-unit latency in cycles (memory latency is added by
+        the cache hierarchy at issue time).
+    """
+
+    __slots__ = (
+        "itype",
+        "mode",
+        "service",
+        "pc",
+        "addr",
+        "phys",
+        "taken",
+        "target",
+        "dep",
+        "latency",
+        "thread_id",
+        "asn",
+        # pipeline state
+        "state",
+        "fetch_cycle",
+        "completion",
+        "producer",
+        "predicted_taken",
+        "predicted_target",
+        "seq",
+        "tlb_done",
+        "ctx",
+    )
+
+    def __init__(
+        self,
+        itype: InstrType,
+        mode: Mode,
+        service: str,
+        pc: int,
+        addr: int | None = None,
+        phys: bool = False,
+        taken: bool = False,
+        target: int = 0,
+        dep: bool = False,
+        latency: int = 1,
+        thread_id: int = 0,
+        asn: int = 0,
+    ) -> None:
+        self.itype = itype
+        self.mode = mode
+        self.service = service
+        self.pc = pc
+        self.addr = addr
+        self.phys = phys
+        self.taken = taken
+        self.target = target
+        self.dep = dep
+        self.latency = latency
+        self.thread_id = thread_id
+        self.asn = asn
+        # Pipeline bookkeeping, filled in by the core.
+        self.state = ST_FETCHED
+        self.fetch_cycle = -1
+        self.completion = -1
+        self.producer: Instruction | None = None
+        self.predicted_taken = False
+        self.predicted_target = 0
+        self.seq = -1
+        # True once a DTLB refill has been performed for this instruction,
+        # so re-delivery after the handler does not re-probe the DTLB.
+        self.tlb_done = False
+        # Hardware context that fetched the instruction.
+        self.ctx = -1
+
+    @property
+    def is_branch(self) -> bool:
+        """True when this instruction transfers control."""
+        return self.itype in _BRANCHES
+
+    @property
+    def is_memory(self) -> bool:
+        """True when this instruction references data memory."""
+        return self.itype in _MEMORY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{self.itype.name}",
+            f"mode={self.mode.name}",
+            f"svc={self.service}",
+            f"pc={self.pc:#x}",
+        ]
+        if self.addr is not None:
+            parts.append(f"addr={self.addr:#x}{'P' if self.phys else ''}")
+        if self.is_branch:
+            parts.append(f"taken={self.taken} tgt={self.target:#x}")
+        return f"<Instr {' '.join(parts)}>"
+
+
+# Local frozensets duplicated from repro.isa.types for attribute-free speed
+# in the properties above (set lookup on a module-level constant).
+_BRANCHES = frozenset(
+    {
+        InstrType.COND_BRANCH,
+        InstrType.UNCOND_BRANCH,
+        InstrType.INDIRECT_JUMP,
+        InstrType.CALL,
+        InstrType.RETURN,
+        InstrType.PAL_CALL,
+        InstrType.PAL_RETURN,
+    }
+)
+_MEMORY = frozenset({InstrType.LOAD, InstrType.STORE, InstrType.SYNC})

@@ -1,0 +1,145 @@
+"""Instruction-mix descriptors.
+
+A mix describes the dynamic instruction-category distribution of a program or
+kernel service, in the same shape as the paper's Tables 2 and 5: fractions of
+loads, stores, branches (with a subtype breakdown and a conditional-taken
+rate), floating point, synchronization, and remaining integer operations.
+
+Code models consume a mix in two pieces:
+
+* the *branch fraction* fixes the mean basic-block length (each synthetic
+  block ends in exactly one control transfer), and
+* the remaining categories, renormalized, populate block bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.types import InstrType
+
+#: Base functional-unit latencies in cycles, by category.  Memory latency is
+#: determined by the cache hierarchy; the value here is the address-generation
+#: cost added on top of the cache access.
+BASE_LATENCY: dict[InstrType, int] = {
+    InstrType.INT_ALU: 1,
+    InstrType.FP_ALU: 4,
+    InstrType.LOAD: 1,
+    InstrType.STORE: 1,
+    InstrType.COND_BRANCH: 1,
+    InstrType.UNCOND_BRANCH: 1,
+    InstrType.INDIRECT_JUMP: 1,
+    InstrType.CALL: 1,
+    InstrType.RETURN: 1,
+    InstrType.PAL_CALL: 1,
+    InstrType.PAL_RETURN: 1,
+    InstrType.SYNC: 2,
+}
+
+#: Default probability that an instruction of the given category consumes the
+#: result of the immediately preceding instruction in its thread.  These
+#: values set the dependence-chain density that bounds single-thread ILP.
+DEFAULT_DEP_PROB: dict[InstrType, float] = {
+    InstrType.INT_ALU: 0.42,
+    InstrType.FP_ALU: 0.55,
+    InstrType.LOAD: 0.30,
+    InstrType.STORE: 0.55,
+    InstrType.COND_BRANCH: 0.60,
+    InstrType.UNCOND_BRANCH: 0.05,
+    InstrType.INDIRECT_JUMP: 0.45,
+    InstrType.CALL: 0.05,
+    InstrType.RETURN: 0.05,
+    InstrType.PAL_CALL: 0.05,
+    InstrType.PAL_RETURN: 0.05,
+    InstrType.SYNC: 0.60,
+}
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Distribution of control-transfer subtypes and behavior.
+
+    Fractions are of *all branches* and should sum to at most 1.0; the
+    remainder is assigned to conditional branches.
+
+    ``cond_taken`` is the target taken rate for conditional branches.
+    ``loopiness`` controls how strongly conditional-branch biases cluster at
+    the extremes: loop-dominated user code has strongly bimodal biases (easy
+    to predict), while kernel "diamond" error-check branches cluster at a low
+    taken rate (also easy to predict via fall-through, which matches the
+    paper's observation that the kernel predicts *better* than SPECInt
+    despite lacking loops).
+
+    ``indirect_targets`` is the number of distinct targets an indirect-jump
+    site cycles through; >1 produces the BTB target mispredictions the paper
+    attributes to kernel indirect jumps.
+    """
+
+    uncond: float = 0.19
+    indirect: float = 0.10
+    call: float = 0.025
+    ret: float = 0.025
+    cond_taken: float = 0.60
+    loopiness: float = 0.75
+    indirect_targets: int = 2
+
+    @property
+    def cond(self) -> float:
+        """Fraction of branches that are conditional."""
+        return max(0.0, 1.0 - self.uncond - self.indirect - self.call - self.ret)
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction-category fractions for one instruction source.
+
+    ``load`` + ``store`` + ``branch`` + ``fp`` + ``sync`` must be <= 1.0;
+    the remainder is integer ALU work ("remaining integer" in the paper's
+    tables).
+    """
+
+    load: float = 0.20
+    store: float = 0.10
+    branch: float = 0.15
+    fp: float = 0.02
+    sync: float = 0.0
+    branches: BranchProfile = field(default_factory=BranchProfile)
+    #: Fraction of loads/stores that address physical memory directly and
+    #: bypass the DTLB (kernel code only; user code never does this).
+    phys_frac: float = 0.0
+    dep_prob: dict[InstrType, float] = field(default_factory=lambda: dict(DEFAULT_DEP_PROB))
+
+    def __post_init__(self) -> None:
+        total = self.load + self.store + self.branch + self.fp + self.sync
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"instruction mix fractions sum to {total:.3f} > 1")
+        for name in ("load", "store", "branch", "fp", "sync", "phys_frac"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"negative mix fraction {name}={value}")
+
+    @property
+    def int_alu(self) -> float:
+        """Remaining-integer fraction."""
+        return 1.0 - self.load - self.store - self.branch - self.fp - self.sync
+
+    @property
+    def mean_block_len(self) -> float:
+        """Mean basic-block length implied by the branch fraction."""
+        if self.branch <= 0:
+            raise ValueError("mix with zero branches has unbounded blocks")
+        return 1.0 / self.branch
+
+    def body_weights(self) -> list[tuple[InstrType, float]]:
+        """Category weights for non-terminator block slots, normalized."""
+        non_branch = 1.0 - self.branch
+        if non_branch <= 0:
+            return [(InstrType.INT_ALU, 1.0)]
+        pairs = [
+            (InstrType.LOAD, self.load / non_branch),
+            (InstrType.STORE, self.store / non_branch),
+            (InstrType.FP_ALU, self.fp / non_branch),
+            (InstrType.SYNC, self.sync / non_branch),
+            (InstrType.INT_ALU, self.int_alu / non_branch),
+        ]
+        return [(t, w) for t, w in pairs if w > 0]

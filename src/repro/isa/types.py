@@ -1,0 +1,70 @@
+"""Instruction and execution-mode taxonomies.
+
+The categories follow the breakdown the paper uses in its instruction-mix
+tables (Tables 2 and 5): loads, stores, conditional branches, unconditional
+branches, indirect jumps, PAL call/return, remaining integer, and floating
+point.  ``SYNC`` models the Alpha load-locked / store-conditional pairs that
+kernel spin locks are built from (the paper's SMT provisions two dedicated
+synchronization units).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstrType(enum.IntEnum):
+    """Dynamic instruction categories."""
+
+    INT_ALU = 0
+    FP_ALU = 1
+    LOAD = 2
+    STORE = 3
+    COND_BRANCH = 4
+    UNCOND_BRANCH = 5
+    INDIRECT_JUMP = 6
+    CALL = 7          # subroutine call (unconditional, pushes return stack)
+    RETURN = 8        # subroutine return (indirect, pops return stack)
+    PAL_CALL = 9      # trap into PAL code (callsys, TLB refill entry, ...)
+    PAL_RETURN = 10   # return from PAL code to the interrupted stream
+    SYNC = 11         # load-locked / store-conditional synchronization op
+
+
+class Mode(enum.IntEnum):
+    """Processor execution mode of an instruction.
+
+    PAL code is the thin software layer below the operating system proper on
+    Alpha; the paper reports it separately from kernel time, so we track it as
+    its own mode.
+    """
+
+    USER = 0
+    KERNEL = 1
+    PAL = 2
+
+
+#: Instruction types that transfer control.
+BRANCH_TYPES = frozenset(
+    {
+        InstrType.COND_BRANCH,
+        InstrType.UNCOND_BRANCH,
+        InstrType.INDIRECT_JUMP,
+        InstrType.CALL,
+        InstrType.RETURN,
+        InstrType.PAL_CALL,
+        InstrType.PAL_RETURN,
+    }
+)
+
+#: Instruction types that reference data memory.
+MEMORY_TYPES = frozenset({InstrType.LOAD, InstrType.STORE, InstrType.SYNC})
+
+
+def is_branch(itype: InstrType) -> bool:
+    """Return True when *itype* transfers control."""
+    return itype in BRANCH_TYPES
+
+
+def is_memory(itype: InstrType) -> bool:
+    """Return True when *itype* references data memory."""
+    return itype in MEMORY_TYPES

@@ -1,0 +1,26 @@
+"""Memory-system substrate: caches, TLBs, MSHRs, buses, and the hierarchy.
+
+Every structure classifies its misses by cause the way the paper's Tables 3
+and 7 do (compulsory, intrathread conflict, interthread conflict, user/kernel
+conflict, OS invalidation) and tracks constructive interthread sharing --
+misses *avoided* because another thread prefetched the line -- for Table 8.
+"""
+
+from repro.memory.classify import MissCause, ModeKind, mode_kind
+from repro.memory.cache import Cache
+from repro.memory.tlb import TLB
+from repro.memory.mshr import MSHRFile
+from repro.memory.bus import Bus
+from repro.memory.hierarchy import MemoryHierarchy, AccessResult
+
+__all__ = [
+    "MissCause",
+    "ModeKind",
+    "mode_kind",
+    "Cache",
+    "TLB",
+    "MSHRFile",
+    "Bus",
+    "MemoryHierarchy",
+    "AccessResult",
+]

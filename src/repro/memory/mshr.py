@@ -1,0 +1,121 @@
+"""Miss status holding registers (MSHRs).
+
+An MSHR file bounds the number of outstanding misses a cache can sustain.
+The model tracks entry release times; when the file is full, a new miss must
+wait for the earliest release.  The time-weighted occupancy integral yields
+the "average number of outstanding misses" rows of the paper's Table 6 --
+the direct evidence of SMT's memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class MSHRFile:
+    """A bounded set of outstanding-miss registers.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    entries:
+        Number of simultaneous outstanding misses supported.
+    """
+
+    def __init__(self, name: str, entries: int) -> None:
+        if entries < 1:
+            raise ValueError(f"{name}: need at least one MSHR entry")
+        self.name = name
+        self.capacity = entries
+        self._releases: list[int] = []  # min-heap of completion times
+        # Occupancy integral bookkeeping.
+        self._last_time = 0
+        self._occupancy_integral = 0.0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def acquire(self, now: int, latency: int) -> int:
+        """Allocate an entry for a miss issued at *now* lasting *latency*.
+
+        Returns the cycle at which the miss actually starts (equal to *now*
+        unless the file was full, in which case the miss waits for the
+        earliest release).  The entry is held until start + latency.
+        """
+        self._advance(now)
+        releases = self._releases
+        start = now
+        if len(releases) >= self.capacity:
+            start = releases[0]
+            self._advance(start)
+            self.full_stalls += 1
+        heapq.heappush(releases, start + latency)
+        self.allocations += 1
+        return start
+
+    def _advance(self, t: int) -> None:
+        """Advance the occupancy integral to time *t*, draining entries at
+        their release times so occupancy is integrated piecewise."""
+        releases = self._releases
+        while releases and releases[0] <= t:
+            release = releases[0]
+            if release > self._last_time:
+                self._occupancy_integral += len(releases) * (release - self._last_time)
+                self._last_time = release
+            heapq.heappop(releases)
+        if t > self._last_time:
+            self._occupancy_integral += len(releases) * (t - self._last_time)
+            self._last_time = t
+
+    def outstanding(self, now: int) -> int:
+        """Number of misses in flight at *now* (drains completed entries)."""
+        self._advance(now)
+        return len(self._releases)
+
+    def integral_at(self, now: int) -> float:
+        """Occupancy integral advanced to *now* (for windowed averages)."""
+        self._advance(now)
+        return self._occupancy_integral
+
+    def average_outstanding(self, now: int) -> float:
+        """Time-averaged outstanding-miss count over [0, now]."""
+        if now <= 0:
+            return 0.0
+        self._advance(now)
+        return self._occupancy_integral / now
+
+
+class StoreBuffer:
+    """A bounded store buffer draining one entry per cycle.
+
+    Stores normally complete immediately into the buffer; when it is full the
+    store stalls until the drain frees a slot.  The drain itself is modeled
+    as a fixed per-entry interval rather than individual cache writebacks.
+    """
+
+    def __init__(self, entries: int, drain_interval: int = 1) -> None:
+        if entries < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = entries
+        self.drain_interval = drain_interval
+        self._releases: list[int] = []
+        self.full_stalls = 0
+
+    def push(self, now: int) -> int:
+        """Insert a store at *now*; return the cycle the store can complete."""
+        releases = self._releases
+        while releases and releases[0] <= now:
+            heapq.heappop(releases)
+        start = now
+        if len(releases) >= self.capacity:
+            start = releases[0]
+            heapq.heappop(releases)
+            self.full_stalls += 1
+        heapq.heappush(releases, start + self.drain_interval)
+        return start
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently buffered (may include already-drained ones
+        pending lazy cleanup)."""
+        return len(self._releases)

@@ -1,0 +1,16 @@
+"""Simulated network substrate.
+
+The paper runs three lock-stepped SimOS instances over a loss-free,
+zero-latency simulated link whose NICs interrupt at a 10 ms granularity.
+Here the clients live in-process: a :class:`~repro.net.nic.NIC` queues
+arriving packets and raises coalesced interrupts, the interrupt handler
+hands packets to *netisr* kernel threads (exactly the Digital Unix
+structure the paper describes), and transmitted packets are delivered to
+the client model's receive hook.
+"""
+
+from repro.net.packets import Packet
+from repro.net.nic import NIC
+from repro.net.stack import NetworkStack, Connection
+
+__all__ = ["Packet", "NIC", "NetworkStack", "Connection"]

@@ -1,0 +1,34 @@
+"""Packet and connection records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ethernet-ish MTU payload used to segment responses.
+MTU = 1460
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One simulated network packet."""
+
+    conn_id: int
+    size: int
+    kind: str  # "req" | "resp" | "ack"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("packet size must be positive")
+        if self.kind not in ("req", "resp", "ack", "fin"):
+            raise ValueError(f"unknown packet kind {self.kind!r}")
+
+
+def segment(nbytes: int) -> list[int]:
+    """Split a transfer into MTU-sized packet payloads."""
+    if nbytes <= 0:
+        return []
+    full, rest = divmod(nbytes, MTU)
+    sizes = [MTU] * full
+    if rest:
+        sizes.append(rest)
+    return sizes

@@ -1,0 +1,154 @@
+"""The kernel network stack: connections, socket buffers, netisr threads.
+
+Digital Unix processes arriving packets on a set of identical *netisr*
+kernel threads (the paper measures them at 26% of all Apache cycles,
+together with interrupt handling).  Here each netisr thread loops: pop a
+packet from the protocol queue, run the TCP/IP input path (a kernel-text
+``netisr`` segment plus a copy burst from the physical NIC ring into the
+shared socket-buffer region), and deliver the result -- a new connection to
+the accept queue or an ACK that retires transmit state.
+
+Transmit runs in the *sender's* context (``writev`` pushes per-packet
+``nettx`` frames), after which the packet is handed to the client model's
+receive hook.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.net.nic import NIC
+from repro.net.packets import Packet
+from repro.os_model.kernel import MiniDUX
+
+
+@dataclass
+class Connection:
+    """One client connection / HTTP request in flight."""
+
+    conn_id: int
+    client_id: int
+    file_id: int
+    request_size: int
+    bytes_to_send: int = 0
+    bytes_sent: int = 0
+    sb_offset: int = field(default=0)
+
+
+class NetworkStack:
+    """Kernel-side networking state plus its netisr threads."""
+
+    def __init__(
+        self,
+        os: MiniDUX,
+        rng: random.Random,
+        n_netisr: int = 4,
+        netisr_cost: int = 650,
+        coalesce_interval: int = 4000,
+    ) -> None:
+        self.os = os
+        self.rng = rng
+        self.netisr_cost = netisr_cost
+        self.nic = NIC(os, self, coalesce_interval=coalesce_interval)
+        self.protocol_queue: deque[Packet] = deque()
+        self.connections: dict[int, Connection] = {}
+        self.accept_queue: deque[int] = deque()
+        self._next_conn = 1
+        self.packets_processed = 0
+        #: Client-model receive hook, set by the client device.
+        self.remote_rx = None
+        self.netisr_threads = []
+        for i in range(n_netisr):
+            thread = os.create_kernel_thread(f"netisr{i}", self._netisr_behavior())
+            thread.priority = 0  # software-interrupt level
+            os.start_thread(thread)
+            self.netisr_threads.append(thread)
+
+    # -- connection management ----------------------------------------------
+
+    def new_connection(self, client_id: int, file_id: int, request_size: int) -> Connection:
+        """Open a connection (the client's SYN+request arriving as one)."""
+        conn = Connection(self._next_conn, client_id, file_id, request_size)
+        self._next_conn += 1
+        # 16 rotating socket buffers: heavy reuse of shared kernel lines
+        # (netisr writes them, server reads them -- Table 8's cooperation).
+        conn.sb_offset = (conn.conn_id % 16) * 4096
+        self.connections[conn.conn_id] = conn
+        return conn
+
+    def socket_buffer_address(self, conn_id: int) -> int:
+        """Socket-buffer address for a connection (shared kernel region)."""
+        conn = self.connections[conn_id]
+        return self.os.reg_sockbuf.base + conn.sb_offset
+
+    def nic_ring_address(self, packet: Packet) -> int:
+        """Physical NIC-ring slot the packet landed in."""
+        ring = self.os.reg_nicring
+        return ring.base + (packet.conn_id * 2048) % (ring.size - 2048)
+
+    def has_pending_accept(self) -> bool:
+        return bool(self.accept_queue)
+
+    def pop_pending_accept(self) -> Connection | None:
+        """Take the oldest fully-arrived connection (None if raced away)."""
+        if not self.accept_queue:
+            return None
+        return self.connections[self.accept_queue.popleft()]
+
+    def close(self, conn_id: int) -> None:
+        """Tear down a finished connection."""
+        self.connections.pop(conn_id, None)
+
+    # -- receive path ---------------------------------------------------------
+
+    def enqueue_rx(self, batch: list[Packet]) -> None:
+        """Interrupt-handler effect: queue packets and wake netisr threads."""
+        self.protocol_queue.extend(batch)
+        self.os.wakeup_all("netisr")
+
+    def _netisr_behavior(self):
+        while True:
+            if not self.protocol_queue:
+                yield ("sleep", "netisr")
+                continue
+            packet = self.protocol_queue.popleft()
+
+            def copy_spec(packet=packet):
+                return (
+                    self.nic_ring_address(packet),
+                    self.socket_buffer_address(packet.conn_id)
+                    if packet.conn_id in self.connections
+                    else self.os.reg_sockbuf.base,
+                    True,   # source is the physical NIC ring
+                    False,  # destination is kernel-virtual socket buffer
+                    packet.size,
+                )
+
+            yield (
+                "kwork",
+                {
+                    "segment": "netisr",
+                    "service": "netisr",
+                    "cost": max(60, int(self.rng.gauss(self.netisr_cost, self.netisr_cost * 0.25))),
+                    "lock": "net",
+                    "copy": copy_spec,
+                    "on_done": lambda packet=packet: self._rx_complete(packet),
+                },
+            )
+
+    def _rx_complete(self, packet: Packet) -> None:
+        self.packets_processed += 1
+        if packet.kind == "req":
+            if packet.conn_id in self.connections:
+                self.accept_queue.append(packet.conn_id)
+                self.os.wakeup_one("accept")
+        # ACKs only exercise the protocol path (transmit-window bookkeeping).
+
+    # -- transmit path ----------------------------------------------------------
+
+    def transmit(self, packet: Packet) -> None:
+        """Hand a transmitted packet to the simulated link (zero latency)."""
+        if self.remote_rx is not None:
+            self.remote_rx(packet)

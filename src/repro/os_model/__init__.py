@@ -1,0 +1,38 @@
+"""MiniDUX: the synthetic Digital-Unix-4.0d stand-in.
+
+The paper runs a real, SMP-aware operating system (modified for SMT) under
+full-system simulation.  MiniDUX reproduces every OS code path the paper
+measures as an instruction-stream generator with its own kernel-text segment
+and kernel-data footprint:
+
+* PAL code (TLB refill entry, callsys, interrupt entry, return-from-trap);
+* the system-call layer (preamble/dispatch plus a catalog of services with
+  per-call cost and data-movement models);
+* kernel memory management (TLB refill, page allocation, mmap region ops);
+* an SMP-style scheduler with per-context idle threads, quantum expiry,
+  run-queue spinlock, and ASN management over the shared TLB;
+* interrupt handling and the *netisr* protocol-stack threads.
+
+Time spent in each path is an emergent product of the simulated CPU running
+these streams -- not a transcribed constant.
+"""
+
+from repro.os_model.address_space import AddressSpace, KernelLayout, user_base
+from repro.os_model.thread import Frame, SoftwareThread, ThreadState
+from repro.os_model.vm import VMSystem
+from repro.os_model.syscalls import SYSCALL_CATALOG, SyscallSpec
+from repro.os_model.kernel import MiniDUX, OSMode
+
+__all__ = [
+    "AddressSpace",
+    "KernelLayout",
+    "user_base",
+    "Frame",
+    "SoftwareThread",
+    "ThreadState",
+    "VMSystem",
+    "SYSCALL_CATALOG",
+    "SyscallSpec",
+    "MiniDUX",
+    "OSMode",
+]

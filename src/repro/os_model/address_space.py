@@ -1,0 +1,86 @@
+"""Virtual-address-space layout.
+
+Every process gets a disjoint user range (so distinct address spaces never
+alias in the virtually-indexed cache proxy), the kernel owns one shared
+virtual range mapped with the global ASN, and physical addresses live in
+their own range and bypass the DTLB entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.data import PAGE_SIZE, Region
+from repro.memory.tlb import KERNEL_ASN
+
+#: Base of the kernel's virtual range.
+KERNEL_VIRT_BASE = 0xFFFF_0000_0000
+#: Base of the direct-mapped physical range (DTLB-bypassing accesses).
+PHYS_BASE = 0x8_0000_0000_0000
+#: Spacing between user address spaces.
+_USER_STRIDE = 0x1_0000_0000
+_USER_BASE = 0x10_0000_0000
+
+
+def user_base(pid: int) -> int:
+    """Base virtual address of process *pid*'s user range."""
+    if pid < 0:
+        raise ValueError("pid must be non-negative")
+    return _USER_BASE + pid * _USER_STRIDE
+
+
+def is_kernel_address(addr: int) -> bool:
+    """True for addresses in the kernel's shared virtual range."""
+    return addr >= KERNEL_VIRT_BASE
+
+
+@dataclass
+class AddressSpace:
+    """One process's address space: an ASN plus its user regions.
+
+    The ASN is assigned by the scheduler's ASN allocator and may change over
+    the process's life when ASNs are recycled (which flushes the old ASN's
+    TLB entries -- an OS-invalidation miss source).
+    """
+
+    pid: int
+    name: str
+    asn: int = -1  # unassigned until first scheduled
+    regions: list[Region] = field(default_factory=list)
+
+    @property
+    def base(self) -> int:
+        """Base of this process's user virtual range."""
+        return user_base(self.pid)
+
+    def region(self, suffix: str, offset: int, n_pages: int, hot_pages: int, **kwargs) -> Region:
+        """Create (and register) a region at ``base + offset``."""
+        if offset % PAGE_SIZE:
+            raise ValueError("region offset must be page aligned")
+        r = Region(f"{self.name}:{suffix}", self.base + offset, n_pages, hot_pages, **kwargs)
+        self.regions.append(r)
+        return r
+
+    def asn_for(self, addr: int) -> int:
+        """The ASN governing a translation of *addr* from this process."""
+        return KERNEL_ASN if is_kernel_address(addr) else self.asn
+
+
+@dataclass(frozen=True)
+class KernelLayout:
+    """Named offsets for the kernel's shared virtual and physical regions.
+
+    Instances only carve out address ranges; the kernel model decides the
+    working-set parameters of each region it instantiates.
+    """
+
+    virt_base: int = KERNEL_VIRT_BASE
+    phys_base: int = PHYS_BASE
+
+    def virt(self, index: int) -> int:
+        """Base address of the *index*-th kernel virtual region slot."""
+        return self.virt_base + index * 0x400_0000  # 64MB apart
+
+    def phys(self, index: int) -> int:
+        """Base address of the *index*-th physical region slot."""
+        return self.phys_base + index * 0x400_0000

@@ -1,0 +1,63 @@
+"""Interrupt posting and delivery.
+
+Devices (the NIC, the clock) post interrupt requests; the controller
+delivers each to a hardware context, where PAL entry + kernel handler
+frames preempt whatever is running.  Delivery rotates across contexts and
+avoids piling onto a context that is still draining an earlier handler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class InterruptRequest:
+    """One posted interrupt: an attribution label, a handler cost, and the
+    effect to apply when the handler completes."""
+
+    label: str
+    cost: int
+    effect: Callable | None = None
+
+
+class InterruptController:
+    """Pending-interrupt queue with rotating context delivery."""
+
+    def __init__(self, n_contexts: int) -> None:
+        self.n_contexts = n_contexts
+        self.pending: deque[InterruptRequest] = deque()
+        self._next_ctx = 0
+        self.posted = 0
+        self.delivered: dict[str, int] = {}
+
+    def post(self, request: InterruptRequest) -> None:
+        """Queue an interrupt for delivery."""
+        self.pending.append(request)
+        self.posted += 1
+
+    def dispatch(self, deliver: Callable[[int, InterruptRequest], bool]) -> int:
+        """Deliver pending interrupts via *deliver(ctx, request)*.
+
+        ``deliver`` returns False to refuse a context (handler backlog);
+        after a full rotation of refusals the interrupt stays pending.
+        Returns the number delivered.
+        """
+        count = 0
+        while self.pending:
+            request = self.pending[0]
+            delivered = False
+            for _ in range(self.n_contexts):
+                ctx = self._next_ctx
+                self._next_ctx = (self._next_ctx + 1) % self.n_contexts
+                if deliver(ctx, request):
+                    delivered = True
+                    break
+            if not delivered:
+                break
+            self.pending.popleft()
+            self.delivered[request.label] = self.delivered.get(request.label, 0) + 1
+            count += 1
+        return count

@@ -1,0 +1,191 @@
+"""Per-hardware-context instruction streams.
+
+A :class:`ContextStream` is what the fetch unit sees: one instruction feed
+per hardware context with *everything* already spliced in --
+
+* squash-recovery replays (correct-path instructions the core squashed on a
+  mispredict are re-delivered first),
+* interrupt and context-switch frames hosted on the context's CPU
+  pseudo-thread,
+* the scheduler's choice of software thread, including the idle thread,
+* TLB interception: every generated instruction probes the shared ITLB (on
+  PC page change) and DTLB (virtual memory operations); a miss defers the
+  instruction and splices the refill/allocation handler in front of it,
+* spin-lock contention: a thread whose next kernel frame needs a held lock
+  emits load-locked/branch spin pairs until the lock frees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.data import PAGE_SHIFT
+from repro.isa.instruction import Instruction
+from repro.isa.types import InstrType, Mode
+from repro.memory.classify import mode_kind
+from repro.memory.tlb import KERNEL_ASN
+from repro.os_model.address_space import is_kernel_address
+from repro.os_model.thread import SoftwareThread
+
+
+class ContextStream:
+    """The OS-composed instruction feed for one hardware context."""
+
+    def __init__(self, os, ctx: int) -> None:
+        self.os = os
+        self.ctx = ctx
+        self.cpu = os.cpu_threads[ctx]
+        #: Correct-path instructions squashed by the core, awaiting replay.
+        self.replay: deque[Instruction] = deque()
+        self._spin_toggle = False
+
+    # -- public feed -------------------------------------------------------
+
+    def next_instruction(self, now: int) -> Instruction | None:
+        """Produce the next instruction for this context, or None if the
+        context has nothing runnable this cycle."""
+        if self.replay:
+            return self.replay.popleft()
+        os = self.os
+        cpu = self.cpu
+        if cpu.frames or cpu.pending:
+            instr = self._thread_next(cpu, now)
+            if instr is not None:
+                return instr
+        sched = os.scheduler
+        if sched.should_resched(self.ctx, now):
+            new = sched.pick_next(self.ctx)
+            sched.install(self.ctx, new, now)
+            if cpu.frames:  # context-switch frames pushed by the OS hook
+                instr = self._thread_next(cpu, now)
+                if instr is not None:
+                    return instr
+        thread = sched.current[self.ctx]
+        if thread is None or not thread.runnable:
+            return None
+        return self._thread_next(thread, now)
+
+    def push_replay(self, instructions) -> None:
+        """Queue squashed correct-path instructions for redelivery, oldest
+        first (called by the core on a misprediction squash)."""
+        self.replay.extend(instructions)
+
+    @property
+    def current_service(self) -> str:
+        """Attribution label for cycle accounting of stalls."""
+        if self.cpu.frames:
+            fr = self.cpu.frames[-1]
+            return fr.service
+        thread = self.os.scheduler.current[self.ctx]
+        if thread is None:
+            return "idle"
+        fr = thread.current_frame
+        return fr.service if fr is not None else "user"
+
+    # -- thread stepping ------------------------------------------------------
+
+    def _thread_next(self, thread: SoftwareThread, now: int) -> Instruction | None:
+        os = self.os
+        if thread.halt_until > now:
+            return None
+        for _ in range(300):
+            if thread.pending:
+                instr = thread.pending.popleft()
+                if self._intercept(thread, instr):
+                    return instr
+                continue
+            fr = thread.current_frame
+            if fr is None:
+                if thread.behavior is None:
+                    return None
+                try:
+                    directive = next(thread.behavior)
+                except StopIteration:
+                    os.dispatch(thread, ("exit",), now)
+                    return None
+                os.dispatch(thread, directive, now)
+                if not thread.runnable:
+                    return None
+                continue
+            if not fr.started:
+                if fr.lock is not None and not fr.lock_held:
+                    if os.locks.acquire(fr.lock, thread.tid):
+                        fr.lock_held = True
+                    elif os.spin_policy == "yield" and thread.behavior is not None:
+                        # SMT-aware optimization: deschedule instead of
+                        # burning issue slots; the release wakes us.  CPU
+                        # pseudo-threads (scheduler/interrupt frames) are
+                        # dispatch-level code and must always spin.
+                        os.sleep_on(f"lock:{fr.lock}", thread)
+                        return None
+                    else:
+                        instr = self._spin_instruction(thread, fr.lock)
+                        if self._intercept(thread, instr):
+                            return instr
+                        continue
+                fr.start()
+            instr = fr.next_instruction()
+            if instr is None:
+                thread.frames.pop()
+                if fr.lock_held:
+                    os.locks.release(fr.lock, thread.tid)
+                    os.wakeup_one(f"lock:{fr.lock}")
+                if fr.on_complete is not None:
+                    fr.on_complete()
+                if not thread.runnable:
+                    return None
+                continue
+            thread.instructions_generated += 1
+            if self._intercept(thread, instr):
+                return instr
+        raise RuntimeError(
+            f"context {self.ctx}: no instruction after 300 steps "
+            f"(thread {thread.name}, frames={len(thread.frames)})"
+        )
+
+    # -- TLB interception -----------------------------------------------------
+
+    def _intercept(self, thread: SoftwareThread, instr: Instruction) -> bool:
+        """Probe the shared TLBs for *instr*; False when it was deferred
+        behind a refill handler."""
+        if instr.mode is Mode.PAL:
+            return True  # PAL runs physically addressed: no TLB involved
+        os = self.os
+        page = instr.pc >> PAGE_SHIFT
+        if page != thread.last_pc_page:
+            thread.last_pc_page = page
+            asn = KERNEL_ASN if is_kernel_address(instr.pc) else thread.process.asn
+            if not os.hierarchy.itlb.probe(page, asn, thread.tid, mode_kind(instr.mode)):
+                if os.handle_itlb_miss(thread, instr, page, asn):
+                    return False
+        if instr.addr is not None and not instr.phys and not instr.tlb_done:
+            vpn = instr.addr >> PAGE_SHIFT
+            asn = os.asn_for(thread, instr.addr)
+            if not os.hierarchy.dtlb.probe(vpn, asn, thread.tid, mode_kind(instr.mode)):
+                if os.handle_dtlb_miss(thread, instr, vpn, asn):
+                    return False
+        return True
+
+    # -- spin locks ----------------------------------------------------------
+
+    def _spin_instruction(self, thread: SoftwareThread, lock_name: str) -> Instruction:
+        """One beat of a spin loop: LDx_L/BXX pairs on the lock word."""
+        os = self.os
+        os.counters["spin_instructions"] += 1
+        if thread.behavior is not None:
+            os.counters["thread_spin_instructions"] += 1
+        seg = os.kernel_text.segments["spinlock"]
+        lock_index = os.locks.DEFAULT_LOCKS.index(lock_name)
+        pc = os.kernel_text.block_pc[seg.start] + lock_index * 16
+        self._spin_toggle = not self._spin_toggle
+        if self._spin_toggle:
+            return Instruction(
+                InstrType.SYNC, Mode.KERNEL, "spinlock", pc,
+                addr=os.lock_word_address(lock_name), dep=False, latency=2,
+                thread_id=thread.tid, asn=KERNEL_ASN,
+            )
+        return Instruction(
+            InstrType.COND_BRANCH, Mode.KERNEL, "spinlock", pc + 4,
+            taken=True, target=pc, dep=True, latency=1,
+            thread_id=thread.tid, asn=KERNEL_ASN,
+        )

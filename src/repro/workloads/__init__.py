@@ -1,0 +1,17 @@
+"""Workload models: the multiprogrammed SPECInt95 stand-in and the Apache /
+SPECWeb96 web-serving stand-in, built from stochastic programs calibrated to
+the paper's published instruction mixes and behavior profiles."""
+
+from repro.workloads.base import Workload
+from repro.workloads.specint import SpecIntWorkload, SPECINT_PROGRAMS
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.specweb import SpecWebFileSet, SpecWebClients
+
+__all__ = [
+    "Workload",
+    "SpecIntWorkload",
+    "SPECINT_PROGRAMS",
+    "ApacheWorkload",
+    "SpecWebFileSet",
+    "SpecWebClients",
+]

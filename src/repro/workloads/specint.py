@@ -1,0 +1,196 @@
+"""The multiprogrammed SPECInt95 workload model.
+
+Eight stochastic programs stand in for the eight SPEC95 integer benchmarks.
+Each has its own text (code model), address space, and working-set profile,
+calibrated around the user columns of the paper's Table 2 (loads ~20%,
+stores ~10%, branches ~15%, a few percent floating point, conditional-taken
+rate in the high 60s).
+
+Behavior follows the paper's observed phase structure:
+
+* **start-up**: process creation (execve/brk), input-file reads through the
+  file system (the paper's Figure 4 shows ``read`` dominating start-up
+  syscall time), and an initialization sweep that first-touches the heap --
+  generating the DTLB-miss / page-allocation surge of Figures 1-3;
+* **steady state**: long computation stretches over a stabilized working
+  set, with occasional output writes -- OS activity falls to a few percent,
+  dominated by TLB refills.
+
+Programs mark their phase transition with a ``("mark", "steady")``
+directive so the analysis layer can split windows exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.code import CodeModel, CodeModelConfig, SegmentSpec
+from repro.isa.data import PAGE_SIZE
+from repro.isa.mix import BranchProfile, InstructionMix
+from repro.os_model.address_space import AddressSpace
+from repro.os_model.kernel import MiniDUX
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Working-set and mix parameters for one synthetic SPECInt program."""
+
+    name: str
+    load: float = 0.20
+    store: float = 0.10
+    branch: float = 0.15
+    fp: float = 0.025
+    cond_taken: float = 0.66
+    n_blocks: int = 1800
+    hot_blocks: int = 56
+    heap_pages: int = 16
+    heap_hot_pages: int = 13
+    heap_hot_lines: int = 10
+    p_seq: float = 0.30
+    p_hot: float = 0.99
+    startup_files: int = 2
+    file_bytes: int = 1536
+    startup_scan_pages: int = 8
+    compute_chunk: int = 5000
+
+
+#: Per-benchmark flavor: code size, data size, branchiness, FP content.
+SPECINT_PROGRAMS: tuple[ProgramProfile, ...] = (
+    ProgramProfile("gcc", n_blocks=3200, hot_blocks=84, heap_pages=24,
+                   heap_hot_pages=12, heap_hot_lines=14, startup_files=3),
+    ProgramProfile("go", branch=0.165, cond_taken=0.62, n_blocks=2200,
+                   hot_blocks=66, fp=0.01),
+    ProgramProfile("li", load=0.23, store=0.12, n_blocks=900, hot_blocks=42,
+                   heap_pages=14, heap_hot_pages=10, heap_hot_lines=10, fp=0.0),
+    ProgramProfile("perl", n_blocks=2600, hot_blocks=72, heap_pages=20,
+                   startup_files=3, fp=0.01),
+    ProgramProfile("compress", load=0.22, store=0.13, branch=0.13,
+                   n_blocks=600, hot_blocks=27, heap_pages=24,
+                   heap_hot_pages=12, heap_hot_lines=8, p_seq=0.6, fp=0.0),
+    ProgramProfile("m88ksim", n_blocks=1600, hot_blocks=50, fp=0.03),
+    ProgramProfile("ijpeg", load=0.21, branch=0.12, cond_taken=0.72,
+                   n_blocks=1200, hot_blocks=40, fp=0.08, p_seq=0.55),
+    ProgramProfile("vortex", load=0.22, store=0.12, n_blocks=2800,
+                   hot_blocks=78, heap_pages=28, heap_hot_pages=14,
+                   heap_hot_lines=12, startup_files=3),
+)
+
+
+class SpecIntWorkload(Workload):
+    """All eight SPECInt95-like programs, multiprogrammed."""
+
+    name = "specint"
+
+    def __init__(self, programs: tuple[ProgramProfile, ...] = SPECINT_PROGRAMS) -> None:
+        self.programs = programs
+        self.threads = []
+
+    def warmed_up(self, os: MiniDUX) -> bool:
+        """Start-up ends when every program has marked itself steady."""
+        return all(
+            os.thread_phase.get(p.name) == "steady" for p in self.programs
+        )
+
+    def setup(self, os: MiniDUX, hierarchy, rng: random.Random) -> None:
+        for pid, profile in enumerate(self.programs):
+            address_space = AddressSpace(pid=pid, name=profile.name)
+            heap = address_space.region(
+                "heap", 0x40_0000, profile.heap_pages, profile.heap_hot_pages,
+                hot_lines=profile.heap_hot_lines, p_seq=profile.p_seq,
+                p_hot=profile.p_hot,
+            )
+            address_space.region(
+                "stack", 0x1000_0000, 4, 2, hot_lines=6, weight=0.55,
+                p_seq=0.3, p_hot=0.995,
+            )
+            mix = InstructionMix(
+                load=profile.load,
+                store=profile.store,
+                branch=profile.branch,
+                fp=profile.fp,
+                branches=BranchProfile(
+                    uncond=0.19, indirect=0.10, call=0.025, ret=0.025,
+                    cond_taken=profile.cond_taken,
+                ),
+            )
+            code = CodeModel(CodeModelConfig(
+                f"specint:{profile.name}",
+                address_space.base + 0x1_0000,
+                mix,
+                segments=(SegmentSpec("main", profile.n_blocks, profile.hot_blocks),),
+                cold_excursion=0.03,
+                return_to_hot=0.75,
+                seed=rng.randrange(1 << 30),
+            ))
+            # Input files live in the upper half of the kernel file cache,
+            # one extent per program.
+            file_extent = (
+                os.reg_filecache.base
+                + os.reg_filecache.size // 2
+                + pid * 64 * 1024
+            )
+            behavior_rng = random.Random(rng.randrange(1 << 30))
+
+            def factory(thread, profile=profile, heap=heap,
+                        file_extent=file_extent, brng=behavior_rng, os=os):
+                return _program_behavior(thread, profile, heap, file_extent, brng, os)
+
+            thread = os.create_process(
+                profile.name, pid, code, address_space, factory)
+            self.threads.append(thread)
+
+
+def _program_behavior(thread, profile: ProgramProfile, heap, file_extent: int,
+                      rng: random.Random, os: MiniDUX):
+    """Directive generator for one SPECInt-like program (see module doc)."""
+    yield ("mark", "startup")
+    # The shell launches the benchmarks one after another: stagger process
+    # creation so the eight execve paths do not collide artificially.
+    if thread.process.pid:
+        yield ("compute", 700 * thread.process.pid)
+    yield ("syscall", "execve", {})
+    yield ("syscall", "brk", {})
+
+    # Start-up: read input files into the heap, touching fresh pages.
+    scan_pos = 0
+    heap_span = heap.size
+    for i in range(profile.startup_files):
+        nbytes = max(512, int(rng.gauss(profile.file_bytes, profile.file_bytes * 0.3)))
+        src = file_extent + (i * profile.file_bytes) % (48 * 1024)
+        dst = heap.base + scan_pos % heap_span
+        yield ("syscall", "open", {})
+        yield ("syscall", "read", {
+            "nbytes": nbytes,
+            "copy": (src, dst, True, False),
+            "disk": i < 2,  # first reads hit the (zero-latency) disk
+            "dma": (src, nbytes),
+        })
+        yield ("syscall", "close", {})
+        scan_pos += nbytes
+        yield ("compute", 1200, {"scan": (heap.base + scan_pos % heap_span, 4096)})
+        scan_pos += 4096
+
+    # Initialization sweep: first-touch a slice of the heap.
+    target = profile.startup_scan_pages * PAGE_SIZE
+    while scan_pos < target:
+        chunk = min(8192, target - scan_pos)
+        yield ("compute", 1200, {"scan": (heap.base + scan_pos, chunk)})
+        scan_pos += chunk
+        if rng.random() < 0.2:
+            yield ("syscall", "brk", {})
+
+    yield ("mark", "steady")
+    iteration = 0
+    while True:
+        yield ("compute", profile.compute_chunk)
+        iteration += 1
+        if iteration % 41 == 0:
+            # Periodic output append (user buffer -> file cache).
+            yield ("syscall", "write", {
+                "nbytes": 256,
+                "copy": (heap.base, file_extent + 56 * 1024, False, True),
+            })
+        if iteration % 67 == 0:
+            yield ("syscall", "gettimeofday", {})

@@ -1,0 +1,144 @@
+"""SPECWeb96-like client model.
+
+SPECWeb96 requests files from four size classes (0: <1KB, 1: 1-10KB,
+2: 10-100KB, 3: 100KB-1MB) with access weights 35/50/14/1%, nine files per
+class.  The paper drives Apache with 128 clients (two driver processes of
+64) paced by the simulation itself; here the clients are a closed-loop
+in-process device: each client sends a request, waits for the full
+response, ACKs data as it arrives, thinks, and repeats -- so offered load
+self-regulates at server saturation exactly as in the paper's lock-stepped
+setup.
+
+File sizes are scaled down by ``scale_div`` (default 8) together with the
+cache geometry; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+
+from repro.net.packets import Packet
+from repro.net.stack import NetworkStack
+
+#: SPECWeb96 class base sizes in bytes and access mix.
+_CLASS_BASE = (102, 1024, 10240, 102400)
+_CLASS_WEIGHTS = (0.35, 0.50, 0.14, 0.01)
+_FILES_PER_CLASS = 9
+
+
+@dataclass(frozen=True)
+class SpecWebFile:
+    """One file of the SPECWeb96 file set."""
+
+    file_id: int
+    size: int
+    offset: int  # byte offset of its extent in the kernel file cache
+
+
+class SpecWebFileSet:
+    """The scaled SPECWeb96 file set, laid out in the kernel file cache."""
+
+    def __init__(self, filecache_region, scale_div: int = 8) -> None:
+        if scale_div < 1:
+            raise ValueError("scale_div must be >= 1")
+        self.scale_div = scale_div
+        self.files: list[SpecWebFile] = []
+        offset = 0
+        capacity = filecache_region.size
+        for cls_index, base in enumerate(_CLASS_BASE):
+            for i in range(_FILES_PER_CLASS):
+                size = max(128, (base * (i + 1)) // scale_div)
+                self.files.append(
+                    SpecWebFile(cls_index * _FILES_PER_CLASS + i, size, offset % capacity)
+                )
+                offset += size
+        self._region = filecache_region
+        # Within a class, smaller-indexed files are more popular (Zipf-ish).
+        self._intra_weights = [1.0 / (i + 1) for i in range(_FILES_PER_CLASS)]
+
+    def pick(self, rng: random.Random) -> SpecWebFile:
+        """Draw a file according to the SPECWeb96 class and file mix."""
+        cls_index = rng.choices(range(len(_CLASS_BASE)), _CLASS_WEIGHTS)[0]
+        i = rng.choices(range(_FILES_PER_CLASS), self._intra_weights)[0]
+        return self.files[cls_index * _FILES_PER_CLASS + i]
+
+    def by_id(self, file_id: int) -> SpecWebFile:
+        return self.files[file_id]
+
+    def extent_address(self, file_id: int) -> int:
+        """File-cache physical address of the file's first byte."""
+        return self._region.base + self.files[file_id].offset
+
+
+class SpecWebClients:
+    """Closed-loop client population driving the server through the NIC."""
+
+    def __init__(
+        self,
+        os,
+        stack: NetworkStack,
+        fileset: SpecWebFileSet,
+        rng: random.Random,
+        n_clients: int = 128,
+        think_mean: int = 20_000,
+        request_size: int = 300,
+        ack_per_packet: float = 1.0,
+        rampup: int = 120_000,
+    ) -> None:
+        self.os = os
+        self.stack = stack
+        self.fileset = fileset
+        self.rng = rng
+        self.n_clients = n_clients
+        self.think_mean = think_mean
+        self.request_size = request_size
+        self.ack_per_packet = ack_per_packet
+        stack.remote_rx = self.receive
+        # (due_time, client_id) heap.  Clients ramp up over a window, the
+        # way a benchmark run brings load online, so the server is not hit
+        # by every client's first request while its processes are cold.
+        self._due: list[tuple[int, int]] = [
+            (rng.randrange(1, max(2, rampup)), c) for c in range(n_clients)
+        ]
+        heapq.heapify(self._due)
+        self._expecting: dict[int, int] = {}  # conn_id -> client_id
+        self.requests_sent = 0
+        self.responses_completed = 0
+        os.devices.append(self)
+
+    def tick(self, now: int) -> None:
+        """Issue requests for every client whose think time has elapsed."""
+        due = self._due
+        while due and due[0][0] <= now:
+            _, client = heapq.heappop(due)
+            self._send_request(client)
+
+    def _send_request(self, client: int) -> None:
+        f = self.fileset.pick(self.rng)
+        conn = self.stack.new_connection(client, f.file_id, self.request_size)
+        self._expecting[conn.conn_id] = client
+        self.stack.nic.inject(Packet(conn.conn_id, self.request_size, "req"))
+        self.requests_sent += 1
+
+    def receive(self, packet: Packet) -> None:
+        """Server-transmitted packet arrives at its client (zero latency)."""
+        client = self._expecting.get(packet.conn_id)
+        if client is None:
+            return
+        if packet.kind == "resp" and self.rng.random() < self.ack_per_packet:
+            self.stack.nic.inject(Packet(packet.conn_id, 40, "ack"))
+        conn = self.stack.connections.get(packet.conn_id)
+        if conn is None:
+            return
+        conn.bytes_sent += packet.size
+        if conn.bytes_to_send and conn.bytes_sent >= conn.bytes_to_send:
+            # Response complete: think, then request again.
+            del self._expecting[packet.conn_id]
+            self.responses_completed += 1
+            # Connection teardown: the client's FIN exercises the receive
+            # protocol path one more time.
+            self.stack.nic.inject(Packet(packet.conn_id, 40, "fin"))
+            think = max(200, int(self.rng.expovariate(1.0 / self.think_mean)))
+            heapq.heappush(self._due, (self.os.now + think, client))

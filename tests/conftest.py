@@ -1,0 +1,55 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa.code import CodeModel, CodeModelConfig, CodeWalker, SegmentSpec
+from repro.isa.data import DataModel, Region
+from repro.isa.mix import BranchProfile, InstructionMix
+from repro.isa.types import Mode
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def user_mix():
+    return InstructionMix(
+        load=0.20, store=0.10, branch=0.15, fp=0.02,
+        branches=BranchProfile(uncond=0.19, indirect=0.10, call=0.025,
+                               ret=0.025, cond_taken=0.66),
+    )
+
+
+@pytest.fixture
+def small_code_model(user_mix):
+    return CodeModel(CodeModelConfig(
+        "test-code", 0x10_0000_0000, user_mix,
+        segments=(SegmentSpec("main", 120, 24), SegmentSpec("aux", 60, 12)),
+        seed=42,
+    ))
+
+
+@pytest.fixture
+def small_regions():
+    return [
+        Region("t:heap", 0x20_0000_0000, 16, 6, hot_lines=12),
+        Region("t:stack", 0x21_0000_0000, 4, 2, hot_lines=6, weight=0.5),
+        Region("t:phys", 0x8_0000_0000_0000, 8, 4, hot_lines=8, phys=True),
+    ]
+
+
+@pytest.fixture
+def data_model(small_regions, rng):
+    return DataModel(small_regions, rng)
+
+
+@pytest.fixture
+def walker(small_code_model, data_model, rng):
+    return CodeWalker(small_code_model, rng, data_model, Mode.USER, "user",
+                      thread_id=3, asn=5)

@@ -1,0 +1,184 @@
+"""Tests for the analysis layer: snapshots, windows, metrics, and the
+table/figure builders, on one shared small run."""
+
+import pytest
+
+from repro.analysis import figures, metrics as M, tables
+from repro.analysis.experiments import RunRecord, build_simulation, run_windowed
+from repro.analysis.snapshot import capture, diff
+from repro.core.simulator import SimResult, Simulation
+from repro.isa.types import Mode
+from repro.workloads.specint import SpecIntWorkload
+
+
+@pytest.fixture(scope="module")
+def small_record():
+    sim = build_simulation("specint", "smt", "full", seed=41)
+    startup, steady, total = run_windowed(sim, budget=120_000)
+    result = SimResult(
+        machine=sim.machine, stats=sim.stats, hierarchy=sim.hierarchy,
+        os=sim.os, processor=sim.processor, workload=sim.workload,
+        os_mode=sim.os_mode, cycles=sim.stats.cycles,
+    )
+    return RunRecord(("t",), result, startup, steady, total)
+
+
+def test_capture_contains_core_counters():
+    sim = Simulation(SpecIntWorkload(), seed=42)
+    sim.run(max_instructions=5_000)
+    snap = capture(sim)
+    for key in ("cycles", "retired", "fetched", "caches", "tlbs", "btb",
+                "service_cycles", "syscall_counts", "vm_incursions"):
+        assert key in snap
+    assert snap["retired"] >= 5_000
+
+
+def test_diff_subtracts_recursively():
+    a = {"x": 10, "nested": {"y": 5, "list": [1, 2]}, "only_after": 3}
+    b = {"x": 4, "nested": {"y": 2, "list": [0, 1]}, "gone": 9}
+    d = diff(a, b)
+    assert d["x"] == 6
+    assert d["nested"]["y"] == 3
+    assert d["nested"]["list"] == [1, 1]
+    assert d["only_after"] == 3
+    assert "gone" not in d
+
+
+def test_windows_partition_the_run(small_record):
+    rec = small_record
+    assert rec.startup["retired"] + rec.steady["retired"] == rec.total["retired"]
+    assert rec.startup["cycles"] + rec.steady["cycles"] == rec.total["cycles"]
+
+
+def test_window_counters_nonnegative(small_record):
+    def walk(node):
+        if isinstance(node, dict):
+            for v in node.values():
+                walk(v)
+        elif isinstance(node, list):
+            for v in node:
+                walk(v)
+        else:
+            assert node >= 0
+
+    walk(small_record.total)
+
+
+def test_metrics_basic(small_record):
+    w = small_record.total
+    assert 0 < M.ipc(w) <= 8
+    assert 0 <= M.squash_fraction(w) < 1
+    assert 0 < M.avg_fetchable_contexts(w) <= 8
+    assert 0 <= M.miss_rate(w, "L1D") <= 1
+    assert 0 <= M.miss_rate(w, "BTB") <= 1
+    assert 0 <= M.cond_mispredict_rate(w) <= 1
+
+
+def test_class_shares_sum_to_one(small_record):
+    shares = M.class_shares(small_record.total)
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_service_shares_sum_to_one(small_record):
+    shares = M.service_shares(small_record.total)
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_kernel_categories_cover_kernel_time(small_record):
+    w = small_record.total
+    cats = M.kernel_category_shares(w)
+    classes = M.class_shares(w)
+    kernel_total = classes["kernel"] + classes["pal"]
+    assert sum(cats.values()) == pytest.approx(kernel_total, abs=1e-6)
+
+
+def test_cause_distribution_sums_to_one(small_record):
+    for s in ("L1I", "L1D", "L2", "DTLB", "BTB"):
+        dist = M.cause_distribution(small_record.total, s)
+        if dist:
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+
+def test_instruction_mix_rows_sum(small_record):
+    mix = M.instruction_mix(small_record.total, Mode.USER)
+    total = (mix["load"] + mix["store"] + mix["branch"]
+             + mix["remaining_integer"] + mix["floating_point"])
+    assert total == pytest.approx(100.0, abs=0.5)
+    branch_subtypes = (mix["conditional"] + mix["unconditional"]
+                       + mix["indirect"] + mix["pal_call_return"])
+    assert branch_subtypes == pytest.approx(100.0, abs=0.5)
+
+
+def test_table4_metrics_keys(small_record):
+    m = M.table4_metrics(small_record.total, 8)
+    assert set(m) >= {"ipc", "l1i_miss_pct", "dtlb_miss_pct", "zero_fetch_pct"}
+
+
+def test_table_builders_produce_text(small_record):
+    rec = small_record
+    for build, args in (
+        (tables.table2, (rec,)),
+        (tables.table3, (rec,)),
+        (tables.table5, (rec,)),
+        (tables.table7, (rec,)),
+        (tables.table4, (rec, rec, rec, rec)),
+        (tables.table6, (rec, rec, rec)),
+        (tables.table8, (rec, rec)),
+        (tables.table9, (rec, rec, rec, rec)),
+    ):
+        out = build(*args)
+        assert out["text"].strip()
+        assert out["data"]
+
+
+def test_figure_builders_produce_text(small_record):
+    rec = small_record
+    for build, args in (
+        (figures.fig1, (rec,)),
+        (figures.fig2, (rec,)),
+        (figures.fig3, (rec,)),
+        (figures.fig4, (rec,)),
+        (figures.fig5, (rec,)),
+        (figures.fig6, (rec, rec)),
+        (figures.fig7, (rec,)),
+    ):
+        out = build(*args)
+        assert out["text"].strip()
+        assert out["data"]
+
+
+def test_budget_mult_env(monkeypatch):
+    from repro.analysis import experiments
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "0.5")
+    assert experiments._budget_multiplier() == 0.5
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "junk")
+    assert experiments._budget_multiplier() == 1.0
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "-2")
+    assert experiments._budget_multiplier() == 1.0
+
+
+def test_build_simulation_validates():
+    with pytest.raises(ValueError):
+        build_simulation("specint", "vliw", "full")
+    with pytest.raises(ValueError):
+        build_simulation("oracle", "smt", "full")
+    with pytest.raises(ValueError):
+        build_simulation("specint", "smt", "half")
+
+
+def test_get_run_memoizes(monkeypatch):
+    from repro.analysis import experiments
+    experiments.clear_cache()
+    calls = []
+    original = experiments.run_windowed
+
+    def spy(sim, budget):
+        calls.append(budget)
+        return original(sim, budget)
+
+    monkeypatch.setattr(experiments, "run_windowed", spy)
+    a = experiments.get_run("specint", "smt", "full", instructions=8_000, seed=91)
+    b = experiments.get_run("specint", "smt", "full", instructions=8_000, seed=91)
+    assert a is b
+    assert len(calls) == 1
+    experiments.clear_cache()

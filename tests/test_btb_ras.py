@@ -1,0 +1,105 @@
+"""Tests for the BTB and return-address stacks."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.memory.classify import MissCause
+
+
+def test_btb_validation():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=10, assoc=4)
+
+
+def test_btb_miss_then_hit():
+    btb = BranchTargetBuffer(64, 4)
+    assert btb.lookup(0x100, 0, 0) is None
+    btb.insert(0x100, 0x500, 0, 0)
+    assert btb.lookup(0x100, 0, 0) == 0x500
+
+
+def test_btb_peek_has_no_stats():
+    btb = BranchTargetBuffer(64, 4)
+    btb.insert(0x100, 0x500, 0, 0)
+    assert btb.peek(0x100) == 0x500
+    assert btb.peek(0x104) is None
+    assert sum(btb.stats.accesses) == 0
+
+
+def test_btb_update_existing_entry():
+    btb = BranchTargetBuffer(64, 4)
+    btb.insert(0x100, 0x500, 0, 0)
+    btb.insert(0x100, 0x900, 1, 1)
+    assert btb.peek(0x100) == 0x900
+
+
+def test_btb_target_mispredict_counted_in_rate():
+    btb = BranchTargetBuffer(64, 4)
+    btb.insert(0x100, 0x500, 0, 0)
+    btb.lookup(0x100, 0, 0)
+    assert btb.miss_rate(0) == 0.0
+    btb.record_target_mispredict(0)
+    assert btb.miss_rate(0) == pytest.approx(1.0)
+
+
+def test_btb_first_miss_is_compulsory():
+    btb = BranchTargetBuffer(64, 4)
+    btb.lookup(0x200, 0, 0)
+    assert btb.stats.causes == {(0, int(MissCause.COMPULSORY)): 1}
+
+
+def test_btb_capacity_and_eviction_classification():
+    btb = BranchTargetBuffer(4, 1)  # 4 direct-mapped sets
+    # Fill far more sites than capacity; then re-probe an early one.
+    for i in range(64):
+        btb.insert(0x1000 + i * 4, 0x2000, tid=1, kind=0)
+    btb.lookup(0x1000, 0, 0)
+    causes = btb.stats.causes
+    assert (0, int(MissCause.INTRATHREAD)) in causes or \
+           (0, int(MissCause.INTERTHREAD)) in causes
+
+
+def test_btb_flush_all():
+    btb = BranchTargetBuffer(64, 4)
+    btb.insert(0x100, 0x500, 0, 0)
+    assert btb.flush_all() == 1
+    assert btb.peek(0x100) is None
+    btb.lookup(0x100, 0, 0)
+    assert btb.stats.causes.get((0, int(MissCause.INVALIDATION))) == 1
+
+
+def test_ras_lifo():
+    ras = ReturnAddressStack(4)
+    ras.push(0x10)
+    ras.push(0x20)
+    assert ras.pop() == 0x20
+    assert ras.pop() == 0x10
+
+
+def test_ras_underflow_returns_none():
+    ras = ReturnAddressStack(4)
+    assert ras.pop() is None
+    assert ras.underflows == 1
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(2)
+    ras.push(0x10)
+    ras.push(0x20)
+    ras.push(0x30)
+    assert ras.pop() == 0x30
+    assert ras.pop() == 0x20
+    assert ras.pop() is None  # 0x10 was overwritten
+
+
+def test_ras_clear():
+    ras = ReturnAddressStack(4)
+    ras.push(0x10)
+    ras.clear()
+    assert len(ras) == 0
+
+
+def test_ras_depth_validation():
+    with pytest.raises(ValueError):
+        ReturnAddressStack(0)

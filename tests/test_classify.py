@@ -1,0 +1,76 @@
+"""Tests for miss classification helpers and MissStats."""
+
+import pytest
+
+from repro.isa.types import Mode
+from repro.memory.classify import (
+    MissCause,
+    MissStats,
+    ModeKind,
+    classify_conflict,
+    mode_kind,
+)
+
+
+def test_mode_kind_collapses_pal_into_kernel():
+    assert mode_kind(Mode.USER) is ModeKind.USER
+    assert mode_kind(Mode.KERNEL) is ModeKind.KERNEL
+    assert mode_kind(Mode.PAL) is ModeKind.KERNEL
+
+
+def test_classify_conflict_matrix():
+    U, K = ModeKind.USER, ModeKind.KERNEL
+    assert classify_conflict(1, U, 1, U) is MissCause.INTRATHREAD
+    assert classify_conflict(1, U, 2, U) is MissCause.INTERTHREAD
+    assert classify_conflict(1, U, 2, K) is MissCause.USER_KERNEL
+    assert classify_conflict(1, K, 1, U) is MissCause.USER_KERNEL
+    assert classify_conflict(3, K, 4, K) is MissCause.INTERTHREAD
+
+
+def test_miss_stats_rates():
+    s = MissStats()
+    s.record_access(0)
+    s.record_access(0)
+    s.record_access(1)
+    s.record_miss(0, MissCause.COMPULSORY)
+    assert s.miss_rate(0) == pytest.approx(1 / 2)
+    assert s.miss_rate(1) == 0.0
+    assert s.miss_rate() == pytest.approx(1 / 3)
+
+
+def test_miss_stats_empty_rates_are_zero():
+    s = MissStats()
+    assert s.miss_rate() == 0.0
+    assert s.cause_shares() == {}
+    assert s.avoided_shares() == {}
+
+
+def test_cause_shares_sum_to_one():
+    s = MissStats()
+    for kind, cause in [(0, 0), (0, 1), (1, 2), (1, 2)]:
+        s.record_miss(kind, cause)
+    shares = s.cause_shares()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares[(1, 2)] == pytest.approx(0.5)
+
+
+def test_avoided_shares_relative_to_misses():
+    s = MissStats()
+    s.record_miss(0, 0)
+    s.record_miss(0, 0)
+    s.record_avoided(0, 1)
+    assert s.avoided_shares()[(0, 1)] == pytest.approx(0.5)
+
+
+def test_merge_accumulates():
+    a, b = MissStats(), MissStats()
+    a.record_access(0)
+    a.record_miss(0, 1)
+    b.record_access(0)
+    b.record_access(1)
+    b.record_miss(0, 1)
+    b.record_avoided(1, 1)
+    a.merge(b)
+    assert a.accesses == [2, 1]
+    assert a.causes[(0, 1)] == 2
+    assert a.avoided[(1, 1)] == 1

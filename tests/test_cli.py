@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.analysis import experiments
+
+
+@pytest.fixture(autouse=True)
+def small_budgets(monkeypatch):
+    """Make CLI-triggered simulations tiny so these tests stay fast."""
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "0.02")
+    experiments.clear_cache()
+    yield
+    experiments.clear_cache()
+
+
+def test_cli_list(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "specint" in out and "apache" in out
+
+
+def test_cli_run_prints_metrics(capsys):
+    assert cli.main(["run", "specint", "--cpu", "smt"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "L1D miss" in out
+
+
+def test_cli_table(capsys):
+    assert cli.main(["table", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "Load" in out
+
+
+def test_cli_figure(capsys):
+    assert cli.main(["figure", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+
+
+def test_cli_invalid_table():
+    with pytest.raises(SystemExit):
+        cli.main(["table", "1"])
+
+
+def test_cli_invalid_figure():
+    with pytest.raises(SystemExit):
+        cli.main(["figure", "8"])
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        cli.main([])
+
+
+def test_cli_report_writes_file(tmp_path, capsys):
+    out = tmp_path / "report.txt"
+    assert cli.main(["report", "--out", str(out),
+                     "--exhibits-dir", str(tmp_path / "ex")]) == 0
+    assert out.exists()
+    assert (tmp_path / "ex" / "tab6.txt").exists()
+
+
+def test_cli_compare_runs(capsys):
+    assert cli.main(["compare"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "shape criteria hold" in out

@@ -1,0 +1,192 @@
+"""Tests for synthetic code models and walkers."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.code import (
+    CodeModel,
+    CodeModelConfig,
+    CodeWalker,
+    SegmentSpec,
+    TERM_COND,
+)
+from repro.isa.data import DataModel, Region
+from repro.isa.mix import BranchProfile, InstructionMix
+from repro.isa.types import InstrType, Mode
+
+
+def build_model(seed=0, n_blocks=100, hot=20, **cfg_kwargs):
+    mix = InstructionMix(load=0.2, store=0.1, branch=0.15, fp=0.02)
+    return CodeModel(CodeModelConfig(
+        f"m{seed}", 0x1000_0000, mix,
+        segments=(SegmentSpec("main", n_blocks, hot),),
+        seed=seed, **cfg_kwargs,
+    ))
+
+
+def build_walker(model, seed=1):
+    rng = random.Random(seed)
+    data = DataModel([Region("d", 0x2000_0000, 8, 4)], rng)
+    return CodeWalker(model, rng, data, Mode.USER, "user", 1, 2)
+
+
+def test_segments_validate():
+    with pytest.raises(ValueError):
+        SegmentSpec("bad", 1, 1)
+    with pytest.raises(ValueError):
+        SegmentSpec("bad", 10, 11)
+
+
+def test_block_pcs_monotone_and_aligned():
+    model = build_model()
+    pcs = model.block_pc
+    assert all(b % 4 == 0 for b in pcs)
+    assert all(pcs[i] < pcs[i + 1] for i in range(len(pcs) - 1))
+
+
+def test_model_deterministic_for_same_seed():
+    a, b = build_model(seed=7), build_model(seed=7)
+    assert a.block_pc == b.block_pc
+    assert a.term_type == b.term_type
+    assert a.taken_prob == b.taken_prob
+
+
+def test_models_differ_across_seeds():
+    a, b = build_model(seed=7), build_model(seed=8)
+    assert a.term_type != b.term_type or a.block_pc != b.block_pc
+
+
+def test_control_flow_closed_within_segment():
+    model = build_model(n_blocks=80, hot=16)
+    seg = model.segments["main"]
+    for b in range(seg.start, seg.end):
+        assert seg.start <= model.fallthrough[b] < seg.end
+        if model.term_type[b] != 4:  # returns use the call stack
+            targets = model.indirect_targets[b] or (model.target[b],)
+            for t in targets:
+                assert seg.start <= t < seg.end
+
+
+def test_walk_stays_in_segment():
+    model = CodeModel(CodeModelConfig(
+        "two-seg", 0x1000_0000, InstructionMix(),
+        segments=(SegmentSpec("a", 40, 8), SegmentSpec("b", 40, 8)),
+        seed=3,
+    ))
+    walker = build_walker(model)
+    seg_a = model.segments["a"]
+    for _ in range(2000):
+        walker.next_instruction()
+        assert seg_a.start <= walker.block < seg_a.end
+    walker.jump_to("b")
+    seg_b = model.segments["b"]
+    for _ in range(2000):
+        walker.next_instruction()
+        assert seg_b.start <= walker.block < seg_b.end
+
+
+def test_dynamic_mix_tracks_static_mix():
+    model = build_model(n_blocks=400, hot=60, seed=5)
+    walker = build_walker(model)
+    counts = Counter(walker.next_instruction().itype for _ in range(40000))
+    total = sum(counts.values())
+    assert counts[InstrType.LOAD] / total == pytest.approx(0.20, abs=0.09)
+    assert counts[InstrType.FP_ALU] / total == pytest.approx(0.02, abs=0.025)
+    branchy = sum(
+        counts[t] for t in (InstrType.COND_BRANCH, InstrType.UNCOND_BRANCH,
+                            InstrType.INDIRECT_JUMP, InstrType.CALL,
+                            InstrType.RETURN))
+    assert branchy / total == pytest.approx(0.15, abs=0.07)
+
+
+def test_conditional_taken_rate_matches_target():
+    # A single small model's visited-site composition is noisy (which hot
+    # blocks carry high-bias branches is a small-sample draw), so average
+    # over several models -- as the real workloads do over 8 programs.
+    mix = InstructionMix(branch=0.15,
+                         branches=BranchProfile(cond_taken=0.70))
+    taken = total = 0
+    for seed in range(6):
+        model = CodeModel(CodeModelConfig(
+            f"taken{seed}", 0x1000_0000, mix,
+            segments=(SegmentSpec("main", 300, 50),), seed=seed))
+        walker = build_walker(model, seed=seed + 100)
+        for _ in range(25000):
+            instr = walker.next_instruction()
+            if instr.itype is InstrType.COND_BRANCH:
+                total += 1
+                taken += instr.taken
+    assert taken / total == pytest.approx(0.70, abs=0.12)
+    assert taken / total > 0.5
+
+
+def test_branch_targets_are_real_block_pcs():
+    model = build_model()
+    walker = build_walker(model)
+    pcs = set(model.block_pc)
+    for _ in range(3000):
+        instr = walker.next_instruction()
+        if instr.is_branch:
+            assert instr.target in pcs
+
+
+def test_pc_advances_by_four_within_block():
+    model = build_model()
+    walker = build_walker(model)
+    prev = None
+    for _ in range(200):
+        instr = walker.next_instruction()
+        if prev is not None and not prev.is_branch:
+            assert instr.pc == prev.pc + 4
+        prev = instr
+
+
+def test_call_return_uses_stack():
+    model = build_model(seed=11, n_blocks=200, hot=40)
+    walker = build_walker(model)
+    for _ in range(20000):
+        instr = walker.next_instruction()
+        if instr.itype is InstrType.CALL:
+            expected_return = instr.pc + 4
+            depth = len(walker.call_stack)
+            if depth:  # stack may cap out
+                assert model.block_pc[walker.call_stack[-1]] == expected_return
+            break
+    else:
+        pytest.skip("no call site visited")
+
+
+def test_cond_sites_have_bimodal_bias():
+    model = build_model(n_blocks=300, hot=50)
+    probs = [model.taken_prob[b] for b in range(model.n_blocks)
+             if model.term_type[b] == TERM_COND]
+    assert probs
+    middling = [p for p in probs if 0.35 < p < 0.65]
+    assert len(middling) < len(probs) * 0.1
+
+
+def test_indirect_sites_rotate_targets():
+    model = build_model(seed=13, n_blocks=400, hot=60,
+                        indirect_switch=1.0)
+    walker = build_walker(model)
+    targets_seen: dict[int, set] = {}
+    for _ in range(40000):
+        instr = walker.next_instruction()
+        if instr.itype is InstrType.INDIRECT_JUMP:
+            targets_seen.setdefault(instr.pc, set()).add(instr.target)
+    multi = [pc for pc, ts in targets_seen.items() if len(ts) > 1]
+    assert multi, "indirect jumps with switch probability 1 must vary targets"
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_blocks=st.integers(10, 150), hot=st.integers(2, 10), seed=st.integers(0, 999))
+def test_any_model_walks_without_error(n_blocks, hot, seed):
+    hot = min(hot, n_blocks)
+    model = build_model(seed=seed, n_blocks=n_blocks, hot=hot)
+    walker = build_walker(model, seed=seed + 1)
+    for _ in range(300):
+        instr = walker.next_instruction()
+        assert instr.pc >= 0x1000_0000

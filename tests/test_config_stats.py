@@ -1,0 +1,151 @@
+"""Tests for machine configuration and statistics accounting."""
+
+import pytest
+
+from repro.core.config import CPUConfig, MachineConfig
+from repro.core.stats import (
+    CLASS_IDLE,
+    CLASS_KERNEL,
+    CLASS_PAL,
+    CLASS_USER,
+    SimStats,
+    service_class,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.types import InstrType, Mode
+
+
+def test_cpu_config_defaults_match_table1():
+    cfg = CPUConfig()
+    assert cfg.n_contexts == 8
+    assert cfg.fetch_width == 8
+    assert cfg.fetch_contexts == 2
+    assert cfg.pipeline_stages == 9
+    assert cfg.int_units == 6
+    assert cfg.ls_units == 4
+    assert cfg.sync_units == 2
+    assert cfg.fp_units == 4
+    assert cfg.retire_width == 12
+
+
+def test_superscalar_variant():
+    ss = CPUConfig.superscalar()
+    assert ss.n_contexts == 1
+    assert ss.pipeline_stages == 7  # two fewer stages
+    assert ss.int_units == CPUConfig().int_units  # identical resources
+
+
+def test_cpu_config_validation():
+    with pytest.raises(ValueError):
+        CPUConfig(n_contexts=0)
+    with pytest.raises(ValueError):
+        CPUConfig(fetch_contexts=9)
+    with pytest.raises(ValueError):
+        CPUConfig(ls_units=7)
+    with pytest.raises(ValueError):
+        CPUConfig(fetch_policy="magic")
+
+
+def test_decode_delay_scales_with_depth():
+    assert CPUConfig().decode_delay > CPUConfig.superscalar().decode_delay
+
+
+def test_machine_presets():
+    assert MachineConfig.smt().cpu.n_contexts == 8
+    assert MachineConfig.superscalar().cpu.n_contexts == 1
+
+
+def test_service_class_mapping():
+    assert service_class("user") == CLASS_USER
+    assert service_class("idle") == CLASS_IDLE
+    assert service_class("pal:dtlb") == CLASS_PAL
+    assert service_class("syscall:read") == CLASS_KERNEL
+    assert service_class("netisr") == CLASS_KERNEL
+
+
+def test_charge_cycle_accumulates_classes():
+    stats = SimStats(2)
+    stats.charge_cycle(["user", "syscall:read"])
+    stats.charge_cycle(["user", "idle"])
+    assert stats.cycles == 2
+    assert stats.class_cycles[CLASS_USER] == 2
+    assert stats.class_cycles[CLASS_KERNEL] == 1
+    assert stats.class_cycles[CLASS_IDLE] == 1
+    assert stats.class_share(CLASS_USER) == pytest.approx(0.5)
+
+
+def test_timeline_sampling():
+    stats = SimStats(1, timeline_interval=4)
+    for _ in range(12):
+        stats.charge_cycle(["user"])
+    assert len(stats.timeline) == 3
+    cycle, shares = stats.timeline[0]
+    assert shares[CLASS_USER] == pytest.approx(1.0)
+
+
+def test_retire_accounting_by_mode_and_type():
+    stats = SimStats(1)
+    load = Instruction(InstrType.LOAD, Mode.KERNEL, "syscall:read", 0x0,
+                       addr=0x10, phys=True)
+    stats.retire(load)
+    cond = Instruction(InstrType.COND_BRANCH, Mode.USER, "user", 0x4, taken=True)
+    stats.retire(cond)
+    assert stats.retired == 2
+    assert stats.retired_by_mode[Mode.KERNEL] == 1
+    assert stats.mem_by_mode[Mode.KERNEL] == 1
+    assert stats.phys_mem_by_mode[Mode.KERNEL] == 1
+    assert stats.cond_by_mode[Mode.USER] == 1
+    assert stats.cond_taken_by_mode[Mode.USER] == 1
+    mix = stats.mode_instruction_mix(Mode.KERNEL)
+    assert mix[InstrType.LOAD] == pytest.approx(1.0)
+
+
+def test_ipc_and_squash_fraction():
+    stats = SimStats(1)
+    stats.charge_cycle(["user"])
+    stats.charge_cycle(["user"])
+    stats.retired = 5
+    stats.fetched = 10
+    stats.squashed = 2
+    assert stats.ipc == pytest.approx(2.5)
+    assert stats.squash_fraction == pytest.approx(0.2)
+
+
+def test_cycle_share_prefix_matching():
+    stats = SimStats(1)
+    stats.charge_cycle(["syscall:read"])
+    stats.charge_cycle(["syscall:stat"])
+    stats.charge_cycle(["user"])
+    assert stats.cycle_share("syscall:") == pytest.approx(2 / 3)
+
+
+def test_empty_stats_are_zero():
+    stats = SimStats(4)
+    assert stats.ipc == 0.0
+    assert stats.squash_fraction == 0.0
+    assert stats.avg_fetchable_contexts == 0.0
+    assert stats.class_share(CLASS_USER) == 0.0
+    assert stats.mode_instruction_mix(Mode.USER) == {}
+    assert stats.service_cycle_shares() == {}
+
+
+def test_per_context_history_option_wires_through():
+    import random as _random
+    from repro.core.processor import Processor
+    from repro.memory.hierarchy import MemoryHierarchy
+
+    class _Empty:
+        replay = ()
+        current_service = "user"
+
+        def next_instruction(self, now):
+            return None
+
+        def push_replay(self, instrs):
+            pass
+
+    cfg = CPUConfig(n_contexts=2, fetch_contexts=2, per_context_history=True)
+    proc = Processor(cfg, [_Empty(), _Empty()], MemoryHierarchy(),
+                     SimStats(2), _random.Random(0))
+    assert proc.branch_unit.predictor.per_context_history
+    assert len(proc.branch_unit.predictor._ghr) == 2

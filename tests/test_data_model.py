@@ -1,0 +1,168 @@
+"""Tests for data-address generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.data import PAGE_SIZE, WORD, DataModel, Region
+
+
+def region(name="r", base=0x1000_0000, n_pages=8, hot_pages=4, **kw):
+    return Region(name, base, n_pages, hot_pages, **kw)
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        region(base=0x1001)  # not page aligned
+    with pytest.raises(ValueError):
+        region(n_pages=0)
+    with pytest.raises(ValueError):
+        region(hot_pages=9)  # > n_pages
+    with pytest.raises(ValueError):
+        region(weight=-1)
+
+
+def test_region_geometry():
+    r = region(n_pages=4)
+    assert r.size == 4 * PAGE_SIZE
+    assert r.limit == r.base + r.size
+    assert r.contains(r.base)
+    assert r.contains(r.limit - 1)
+    assert not r.contains(r.limit)
+
+
+def test_hot_addresses_deterministic_and_shared():
+    a = region(name="shared", hot_lines=16)
+    b = region(name="shared", hot_lines=16)
+    assert a.hot_addresses == b.hot_addresses
+
+
+def test_hot_addresses_distinct_for_distinct_regions():
+    a = region(name="one", hot_lines=16)
+    b = region(name="two", hot_lines=16)
+    assert a.hot_addresses != b.hot_addresses
+
+
+def test_hot_addresses_within_hot_pages():
+    r = region(hot_pages=3, hot_lines=24)
+    limit = r.base + 3 * PAGE_SIZE
+    assert all(r.base <= a < limit for a in r.hot_addresses)
+
+
+def test_default_hot_line_count():
+    r = region(hot_pages=5)
+    assert len(r.hot_addresses) == 20  # 4 * hot_pages
+
+
+def test_addresses_stay_in_regions():
+    rng = random.Random(3)
+    regions = [region(name="a"), region(name="b", base=0x2000_0000, weight=0.5)]
+    dm = DataModel(regions, rng)
+    for _ in range(5000):
+        addr, phys = dm.next(rng.random() < 0.3, False)
+        assert any(r.contains(addr) for r in regions)
+        assert not phys
+        assert addr % WORD == 0
+
+
+def test_phys_sites_draw_from_phys_regions():
+    rng = random.Random(4)
+    phys_region = region(name="p", base=0x8_0000_0000_0000, phys=True)
+    dm = DataModel([region(name="v"), phys_region], rng)
+    for _ in range(500):
+        addr, phys = dm.next(False, True)
+        assert phys
+        assert phys_region.contains(addr)
+
+
+def test_phys_fallback_when_no_virtual_regions():
+    rng = random.Random(5)
+    phys_region = region(name="only-p", phys=True)
+    dm = DataModel([phys_region], rng)
+    addr, phys = dm.next(False, False)  # site asks virtual, none exists
+    assert phys
+    assert phys_region.contains(addr)
+
+
+def test_copy_burst_walks_sequentially():
+    rng = random.Random(6)
+    dm = DataModel([region()], rng)
+    dm.set_copy(0x5000_0000, 0x6000_0000, 64)
+    loads = [dm.next(False, False) for _ in range(8)]
+    stores = [dm.next(True, False) for _ in range(8)]
+    assert [a for a, _ in loads] == [0x5000_0000 + 8 * i for i in range(8)]
+    assert [a for a, _ in stores] == [0x6000_0000 + 8 * i for i in range(8)]
+    assert not dm.burst_active
+
+
+def test_copy_burst_phys_flags():
+    rng = random.Random(7)
+    dm = DataModel([region()], rng)
+    dm.set_copy(0x5000_0000, 0x6000_0000, 16, src_phys=True, dst_phys=False)
+    _, src_phys = dm.next(False, False)
+    _, dst_phys = dm.next(True, False)
+    assert src_phys and not dst_phys
+
+
+def test_scan_burst_one_sided():
+    rng = random.Random(8)
+    dm = DataModel([region()], rng)
+    dm.set_scan(0x7000_0000, 24)
+    addrs = [dm.next(False, False)[0] for _ in range(3)]
+    assert addrs == [0x7000_0000, 0x7000_0008, 0x7000_0010]
+    # Stores were never part of the scan: they fall back to regions.
+    addr, _ = dm.next(True, False)
+    assert not (0x7000_0000 <= addr < 0x7000_0018)
+
+
+def test_burst_replaces_previous_burst():
+    rng = random.Random(9)
+    dm = DataModel([region()], rng)
+    dm.set_copy(0x5000_0000, 0x6000_0000, 1024)
+    dm.set_copy(0x9000_0000, 0xA000_0000, 16)
+    addr, _ = dm.next(False, False)
+    assert addr == 0x9000_0000
+
+
+def test_invalid_bursts_rejected():
+    rng = random.Random(10)
+    dm = DataModel([region()], rng)
+    with pytest.raises(ValueError):
+        dm.set_copy(0, 0, 0)
+    with pytest.raises(ValueError):
+        dm.set_scan(0, -8)
+
+
+def test_empty_region_list_rejected():
+    with pytest.raises(ValueError):
+        DataModel([], random.Random(0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_pages=st.integers(1, 32), hot_pages=st.integers(1, 8),
+       seed=st.integers(0, 100))
+def test_region_addresses_always_in_bounds(n_pages, hot_pages, seed):
+    hot_pages = min(hot_pages, n_pages)
+    r = region(name=f"h{seed}", n_pages=n_pages, hot_pages=hot_pages)
+    dm = DataModel([r], random.Random(seed))
+    for _ in range(200):
+        addr, _ = dm.next(False, False)
+        assert r.contains(addr)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nbytes=st.integers(8, 4096))
+def test_copy_burst_conserves_bytes(nbytes):
+    nbytes -= nbytes % 8
+    if nbytes == 0:
+        nbytes = 8
+    dm = DataModel([region()], random.Random(0))
+    dm.set_copy(0x5000_0000, 0x6000_0000, nbytes)
+    n_loads = 0
+    while True:
+        addr, _ = dm.next(False, False)
+        if not (0x5000_0000 <= addr < 0x5000_0000 + nbytes):
+            break
+        n_loads += 1
+    assert n_loads == nbytes // 8

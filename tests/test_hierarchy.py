@@ -1,0 +1,103 @@
+"""Tests for the assembled memory hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import AccessResult, MemoryConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def hier():
+    return MemoryHierarchy(MemoryConfig())
+
+
+def test_l1_hit_latency(hier):
+    hier.data_access(0, 0x1000, 0, 0)           # warm the line
+    res = hier.data_access(10, 0x1000, 0, 0)
+    assert res.l1_hit
+    assert res.latency == hier.config.l1_hit_latency
+
+
+def test_l2_hit_latency_composition(hier):
+    cfg = hier.config
+    first = hier.data_access(0, 0x1000, 0, 0)   # cold: goes to memory
+    assert not first.l2_hit
+    assert first.latency >= cfg.mem_latency
+    # Evict from L1 only by touching a *different* line, then the L2 path:
+    # simulate by flushing the L1 line.
+    hier.l1d.flush_address(0x1000)
+    res = hier.data_access(100, 0x1000, 0, 0)
+    assert not res.l1_hit and res.l2_hit
+    assert cfg.l2_latency < res.latency < cfg.mem_latency
+
+
+def test_memory_latency_dominates_cold_access(hier):
+    res = hier.data_access(0, 0xABC000, 0, 0)
+    assert res.latency >= hier.config.mem_latency
+    assert not res.l1_hit and not res.l2_hit
+
+
+def test_inst_access_hits_after_fill(hier):
+    miss = hier.inst_access(0, 0x4000, 0, 0)
+    assert not miss.l1_hit
+    hit = hier.inst_access(50, 0x4000, 0, 0)
+    assert hit.l1_hit and hit.latency == 0
+
+
+def test_dcache_port_gate_limits_same_cycle_accesses(hier):
+    hier.data_access(0, 0x1000, 0, 0)
+    hier.data_access(5, 0x1000, 0, 0)
+    hier.data_access(5, 0x1040, 0, 0)
+    res = hier.data_access(5, 0x1080, 0, 0)  # third access in cycle 5
+    assert res.latency > hier.config.l1_hit_latency or not res.l1_hit
+
+
+def test_store_complete_uses_buffer(hier):
+    t = hier.store_complete(7)
+    assert t == 8  # immediate buffer entry + 1
+
+
+def test_omit_kernel_refs_mode(hier):
+    hier.omit_kernel_refs = True
+    res = hier.data_access(0, 0x1000, 0, kind=1)
+    assert res.l1_hit
+    assert hier.l1d.stats.accesses == [0, 0]   # untouched by kernel refs
+    # User references still go through.
+    hier.data_access(0, 0x1000, 0, kind=0)
+    assert hier.l1d.stats.accesses[0] == 1
+
+
+def test_icache_flush_invalidates(hier):
+    hier.inst_access(0, 0x4000, 0, 0)
+    assert hier.icache_flush() == 1
+    res = hier.inst_access(10, 0x4000, 0, 0)
+    assert not res.l1_hit
+
+
+def test_dma_write_invalidates_both_levels(hier):
+    hier.data_access(0, 0x8000, 0, 0)
+    assert hier.l1d.probe(0x8000)
+    assert hier.l2.probe(0x8000)
+    hier.dma_write(0x8000, 128)
+    assert not hier.l1d.probe(0x8000)
+    assert not hier.l2.probe(0x8000)
+
+
+def test_paper_scale_geometry():
+    cfg = MemoryConfig.paper_scale()
+    assert cfg.l1i_size == 128 * 1024
+    assert cfg.l2_size == 16 * 1024 * 1024
+    h = MemoryHierarchy(cfg)
+    assert h.l2.n_sets == cfg.l2_size // 64
+
+
+def test_mshr_pressure_delays_misses():
+    cfg = MemoryConfig(l1_mshrs=1)
+    h = MemoryHierarchy(cfg)
+    h.data_access(0, 0x10000, 0, 0)
+    res = h.data_access(0, 0x20000, 0, 0)  # second concurrent miss
+    assert res.latency > cfg.mem_latency  # queued behind the single MSHR
+
+
+def test_access_result_is_value_object():
+    r = AccessResult(5, True, True)
+    assert r.latency == 5 and r.l1_hit and r.l2_hit

@@ -1,0 +1,73 @@
+"""Tests for the dynamic instruction record."""
+
+from repro.isa.instruction import (
+    Instruction,
+    ST_FETCHED,
+)
+from repro.isa.types import InstrType, Mode
+
+
+def make(itype=InstrType.INT_ALU, **kwargs):
+    defaults = dict(mode=Mode.USER, service="user", pc=0x1000)
+    defaults.update(kwargs)
+    return Instruction(itype, **defaults)
+
+
+def test_defaults():
+    instr = make()
+    assert instr.state == ST_FETCHED
+    assert instr.completion == -1
+    assert instr.producer is None
+    assert instr.seq == -1
+    assert not instr.tlb_done
+    assert instr.ctx == -1
+
+
+def test_branch_property():
+    assert make(InstrType.COND_BRANCH).is_branch
+    assert make(InstrType.RETURN).is_branch
+    assert make(InstrType.PAL_CALL).is_branch
+    assert not make(InstrType.LOAD).is_branch
+    assert not make(InstrType.INT_ALU).is_branch
+
+
+def test_memory_property():
+    assert make(InstrType.LOAD, addr=0x2000).is_memory
+    assert make(InstrType.STORE, addr=0x2000).is_memory
+    assert make(InstrType.SYNC, addr=0x2000).is_memory
+    assert not make(InstrType.COND_BRANCH).is_memory
+
+
+def test_slots_prevent_arbitrary_attributes():
+    instr = make()
+    try:
+        instr.bogus = 1
+    except AttributeError:
+        return
+    raise AssertionError("Instruction should use __slots__")
+
+
+def test_fields_carried_through():
+    instr = make(
+        InstrType.LOAD, mode=Mode.KERNEL, service="syscall:read",
+        pc=0x4000, addr=0xdead0, phys=True, dep=True, latency=2,
+        thread_id=7, asn=3,
+    )
+    assert instr.mode is Mode.KERNEL
+    assert instr.service == "syscall:read"
+    assert instr.addr == 0xdead0
+    assert instr.phys
+    assert instr.dep
+    assert instr.latency == 2
+    assert instr.thread_id == 7
+    assert instr.asn == 3
+
+
+def test_branch_outcome_fields():
+    instr = make(InstrType.COND_BRANCH, taken=True, target=0x9000)
+    assert instr.taken
+    assert instr.target == 0x9000
+
+
+def test_repr_mentions_type():
+    assert "LOAD" in repr(make(InstrType.LOAD, addr=0x10))

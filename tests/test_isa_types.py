@@ -1,0 +1,58 @@
+"""Tests for the instruction/mode taxonomies."""
+
+from repro.isa.types import (
+    BRANCH_TYPES,
+    MEMORY_TYPES,
+    InstrType,
+    Mode,
+    is_branch,
+    is_memory,
+)
+
+
+def test_branch_types_cover_all_control_transfers():
+    assert InstrType.COND_BRANCH in BRANCH_TYPES
+    assert InstrType.UNCOND_BRANCH in BRANCH_TYPES
+    assert InstrType.INDIRECT_JUMP in BRANCH_TYPES
+    assert InstrType.CALL in BRANCH_TYPES
+    assert InstrType.RETURN in BRANCH_TYPES
+    assert InstrType.PAL_CALL in BRANCH_TYPES
+    assert InstrType.PAL_RETURN in BRANCH_TYPES
+
+
+def test_branch_and_memory_sets_disjoint():
+    assert not BRANCH_TYPES & MEMORY_TYPES
+
+
+def test_memory_types_include_sync():
+    # Load-locked/store-conditional pairs reference memory.
+    assert InstrType.SYNC in MEMORY_TYPES
+    assert InstrType.LOAD in MEMORY_TYPES
+    assert InstrType.STORE in MEMORY_TYPES
+
+
+def test_alu_ops_are_neither_branch_nor_memory():
+    for itype in (InstrType.INT_ALU, InstrType.FP_ALU):
+        assert not is_branch(itype)
+        assert not is_memory(itype)
+
+
+def test_is_branch_matches_set_membership():
+    for itype in InstrType:
+        assert is_branch(itype) == (itype in BRANCH_TYPES)
+
+
+def test_is_memory_matches_set_membership():
+    for itype in InstrType:
+        assert is_memory(itype) == (itype in MEMORY_TYPES)
+
+
+def test_modes_are_three():
+    assert {Mode.USER, Mode.KERNEL, Mode.PAL} == set(Mode)
+
+
+def test_mode_ints_are_stable_indices():
+    # Stats arrays index by mode value; the encoding must stay 0/1/2.
+    assert int(Mode.USER) == 0
+    assert int(Mode.KERNEL) == 1
+    assert int(Mode.PAL) == 2

@@ -1,0 +1,88 @@
+"""Tests for instruction-mix descriptors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.mix import BASE_LATENCY, BranchProfile, InstructionMix
+from repro.isa.types import InstrType
+
+
+def test_int_alu_is_remainder():
+    mix = InstructionMix(load=0.2, store=0.1, branch=0.15, fp=0.05, sync=0.01)
+    assert mix.int_alu == pytest.approx(1 - 0.2 - 0.1 - 0.15 - 0.05 - 0.01)
+
+
+def test_overfull_mix_rejected():
+    with pytest.raises(ValueError):
+        InstructionMix(load=0.5, store=0.4, branch=0.3)
+
+
+def test_negative_fraction_rejected():
+    with pytest.raises(ValueError):
+        InstructionMix(load=-0.1)
+
+
+def test_mean_block_len_inverse_of_branch():
+    mix = InstructionMix(branch=0.2)
+    assert mix.mean_block_len == pytest.approx(5.0)
+
+
+def test_zero_branch_mix_has_no_block_length():
+    mix = InstructionMix(branch=0.0)
+    with pytest.raises(ValueError):
+        _ = mix.mean_block_len
+
+
+def test_body_weights_normalized():
+    mix = InstructionMix(load=0.2, store=0.1, branch=0.2, fp=0.1)
+    weights = dict(mix.body_weights())
+    assert sum(weights.values()) == pytest.approx(1.0)
+    # Branches never appear inside block bodies.
+    assert all(t is not InstrType.COND_BRANCH for t in weights)
+
+
+def test_body_weights_drop_zero_categories():
+    mix = InstructionMix(load=0.2, store=0.1, branch=0.2, fp=0.0, sync=0.0)
+    cats = {t for t, _ in mix.body_weights()}
+    assert InstrType.FP_ALU not in cats
+    assert InstrType.SYNC not in cats
+
+
+@given(
+    load=st.floats(0, 0.3),
+    store=st.floats(0, 0.2),
+    branch=st.floats(0.05, 0.3),
+    fp=st.floats(0, 0.2),
+)
+def test_body_weights_always_normalized(load, store, branch, fp):
+    mix = InstructionMix(load=load, store=store, branch=branch, fp=fp)
+    total = sum(w for _, w in mix.body_weights())
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_branch_profile_cond_is_remainder():
+    p = BranchProfile(uncond=0.2, indirect=0.1, call=0.05, ret=0.05)
+    assert p.cond == pytest.approx(0.6)
+
+
+def test_branch_profile_cond_never_negative():
+    p = BranchProfile(uncond=0.5, indirect=0.4, call=0.1, ret=0.1)
+    assert p.cond == 0.0
+
+
+def test_base_latency_covers_all_types():
+    for itype in InstrType:
+        assert itype in BASE_LATENCY
+        assert BASE_LATENCY[itype] >= 1
+
+
+def test_phys_frac_validation():
+    with pytest.raises(ValueError):
+        InstructionMix(phys_frac=-0.5)
+
+
+def test_default_dep_prob_copied_per_mix():
+    a = InstructionMix()
+    b = InstructionMix()
+    a.dep_prob[InstrType.LOAD] = 0.99
+    assert b.dep_prob[InstrType.LOAD] != 0.99

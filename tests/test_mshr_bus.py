@@ -1,0 +1,114 @@
+"""Tests for MSHR files, the store buffer, and the bus model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.bus import Bus
+from repro.memory.mshr import MSHRFile, StoreBuffer
+
+
+def test_mshr_validation():
+    with pytest.raises(ValueError):
+        MSHRFile("bad", 0)
+
+
+def test_mshr_no_delay_when_free():
+    mshr = MSHRFile("T", 4)
+    assert mshr.acquire(now=10, latency=20) == 10
+    assert mshr.allocations == 1
+
+
+def test_mshr_full_delays_to_earliest_release():
+    mshr = MSHRFile("T", 2)
+    mshr.acquire(0, 10)   # busy until 10
+    mshr.acquire(0, 20)   # busy until 20
+    start = mshr.acquire(5, 10)
+    assert start == 10    # waits for the first release
+    assert mshr.full_stalls == 1
+
+
+def test_mshr_outstanding_drains():
+    mshr = MSHRFile("T", 4)
+    mshr.acquire(0, 10)
+    mshr.acquire(0, 30)
+    assert mshr.outstanding(5) == 2
+    assert mshr.outstanding(15) == 1
+    assert mshr.outstanding(50) == 0
+
+
+def test_mshr_average_outstanding():
+    mshr = MSHRFile("T", 4)
+    mshr.acquire(0, 10)  # one miss outstanding cycles 0-10
+    avg = mshr.average_outstanding(20)
+    assert avg == pytest.approx(0.5)
+
+
+def test_mshr_integral_monotone():
+    mshr = MSHRFile("T", 4)
+    mshr.acquire(0, 100)
+    a = mshr.integral_at(10)
+    b = mshr.integral_at(20)
+    assert b > a
+
+
+def test_store_buffer_immediate_when_space():
+    sb = StoreBuffer(2)
+    assert sb.push(5) == 5
+
+
+def test_store_buffer_stalls_when_full():
+    sb = StoreBuffer(1, drain_interval=10)
+    sb.push(0)           # drains at 10
+    start = sb.push(3)
+    assert start == 10
+    assert sb.full_stalls == 1
+
+
+def test_store_buffer_validation():
+    with pytest.raises(ValueError):
+        StoreBuffer(0)
+
+
+def test_bus_free_adds_latency_only():
+    bus = Bus("B", latency=4, occupancy=2)
+    assert bus.request(0) == 4
+    assert bus.transactions == 1
+
+
+def test_bus_busy_queues():
+    bus = Bus("B", latency=4, occupancy=2)
+    bus.request(0)                 # occupies cycles 0-2
+    delay = bus.request(0)
+    assert delay == 2 + 4          # waits for occupancy, then latency
+    assert bus.mean_wait == pytest.approx(1.0)
+
+
+def test_bus_parameters_validated():
+    with pytest.raises(ValueError):
+        Bus("bad", latency=-1)
+    with pytest.raises(ValueError):
+        Bus("bad", latency=1, occupancy=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=st.lists(st.tuples(st.integers(0, 50), st.integers(1, 30)),
+                       min_size=1, max_size=60),
+       capacity=st.integers(1, 8))
+def test_mshr_start_never_before_request(events, capacity):
+    mshr = MSHRFile("H", capacity)
+    now = 0
+    for dt, latency in events:
+        now += dt
+        start = mshr.acquire(now, latency)
+        assert start >= now
+
+
+@settings(max_examples=30, deadline=None)
+@given(gaps=st.lists(st.integers(0, 10), min_size=1, max_size=50))
+def test_bus_wait_nonnegative_and_bounded(gaps):
+    bus = Bus("H", latency=3, occupancy=2)
+    now = 0
+    for g in gaps:
+        now += g
+        delay = bus.request(now)
+        assert delay >= 3

@@ -1,0 +1,111 @@
+"""Tests for the network substrate: packets, NIC, protocol stack."""
+
+import random
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.net.packets import MTU, Packet, segment
+from repro.net.stack import NetworkStack
+from repro.os_model.kernel import MiniDUX
+from repro.os_model.thread import ThreadState
+
+
+@pytest.fixture
+def osk():
+    return MiniDUX(MemoryHierarchy(), n_contexts=2, rng=random.Random(4))
+
+
+@pytest.fixture
+def stack(osk):
+    return NetworkStack(osk, random.Random(5), n_netisr=2)
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(1, 0, "req")
+    with pytest.raises(ValueError):
+        Packet(1, 10, "weird")
+
+
+def test_segmentation():
+    assert segment(0) == []
+    assert segment(100) == [100]
+    assert segment(MTU) == [MTU]
+    assert segment(MTU + 1) == [MTU, 1]
+    assert sum(segment(123456)) == 123456
+
+
+def test_new_connection_allocates_socket_buffer(stack, osk):
+    conn = stack.new_connection(client_id=7, file_id=3, request_size=300)
+    addr = stack.socket_buffer_address(conn.conn_id)
+    assert osk.reg_sockbuf.contains(addr)
+
+
+def test_socket_buffers_rotate(stack):
+    conns = [stack.new_connection(0, 0, 100) for _ in range(4)]
+    addrs = {stack.socket_buffer_address(c.conn_id) for c in conns}
+    assert len(addrs) == 4
+
+
+def test_nic_ring_addresses_in_phys_region(stack, osk):
+    pkt = Packet(5, 200, "req")
+    assert osk.reg_nicring.contains(stack.nic_ring_address(pkt))
+
+
+def test_nic_coalesces_interrupts(stack, osk):
+    nic = stack.nic
+    conn = stack.new_connection(0, 0, 100)
+    for _ in range(5):
+        nic.inject(Packet(conn.conn_id, 100, "req"))
+    nic.tick(0)
+    assert nic.interrupts_raised == 1
+    nic.tick(1)   # inside the coalescing window: no second interrupt
+    assert nic.interrupts_raised == 1
+    nic.inject(Packet(conn.conn_id, 100, "req"))
+    nic.tick(nic.coalesce_interval + 1)
+    assert nic.interrupts_raised == 2
+
+
+def test_rx_path_wakes_netisr_and_queues_accept(stack, osk):
+    conn = stack.new_connection(0, 0, 100)
+    # Block the netisr threads first (as they would be, asleep).
+    for t in stack.netisr_threads:
+        if not t.frames:
+            osk.sleep_on("netisr", t)
+    stack.enqueue_rx([Packet(conn.conn_id, 100, "req")])
+    assert any(t.runnable for t in stack.netisr_threads)
+    # Process the packet through a netisr thread's directives.
+    stack._rx_complete(Packet(conn.conn_id, 100, "req"))
+    assert stack.has_pending_accept()
+    popped = stack.pop_pending_accept()
+    assert popped is conn
+    assert not stack.has_pending_accept()
+    assert stack.pop_pending_accept() is None
+
+
+def test_ack_does_not_enter_accept_queue(stack):
+    conn = stack.new_connection(0, 0, 100)
+    stack._rx_complete(Packet(conn.conn_id, 40, "ack"))
+    assert not stack.has_pending_accept()
+
+
+def test_close_forgets_connection(stack):
+    conn = stack.new_connection(0, 0, 100)
+    stack.close(conn.conn_id)
+    assert conn.conn_id not in stack.connections
+    stack.close(conn.conn_id)  # idempotent
+
+
+def test_transmit_reaches_remote_hook(stack):
+    received = []
+    stack.remote_rx = received.append
+    pkt = Packet(1, 64, "resp")
+    stack.transmit(pkt)
+    assert received == [pkt]
+
+
+def test_netisr_threads_created_at_high_priority(stack):
+    assert len(stack.netisr_threads) == 2
+    assert all(t.priority == 0 for t in stack.netisr_threads)
+    assert all(t.state is not ThreadState.DONE for t in stack.netisr_threads)

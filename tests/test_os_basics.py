@@ -1,0 +1,150 @@
+"""Tests for locks, VM system, address spaces, and interrupts."""
+
+import random
+
+import pytest
+
+from repro.isa.data import PAGE_SIZE
+from repro.os_model.address_space import (
+    AddressSpace,
+    KERNEL_VIRT_BASE,
+    is_kernel_address,
+    user_base,
+)
+from repro.os_model.interrupts import InterruptController, InterruptRequest
+from repro.os_model.locks import LockTable
+from repro.os_model.vm import VMSystem
+
+
+# -- locks -----------------------------------------------------------------
+
+def test_lock_acquire_release():
+    locks = LockTable()
+    assert locks.acquire("vfs", 1)
+    assert locks.holder("vfs") == 1
+    locks.release("vfs", 1)
+    assert locks.holder("vfs") is None
+
+
+def test_lock_contention_counted():
+    locks = LockTable()
+    locks.acquire("vfs", 1)
+    assert not locks.acquire("vfs", 2)
+    assert locks.contentions["vfs"] == 1
+    assert locks.contention_rate("vfs") == pytest.approx(0.5)
+
+
+def test_lock_reentrant_for_same_thread():
+    locks = LockTable()
+    assert locks.acquire("net", 3)
+    assert locks.acquire("net", 3)
+
+
+def test_release_by_non_holder_raises():
+    locks = LockTable()
+    locks.acquire("vm", 1)
+    with pytest.raises(RuntimeError):
+        locks.release("vm", 2)
+
+
+# -- VM system ------------------------------------------------------------------
+
+def test_vm_first_touch_needs_allocation():
+    vm = VMSystem(random.Random(0))
+    assert vm.needs_allocation(1, 0x4000_0000)
+    vm.allocate(1, 0x4000_0000)
+    assert not vm.needs_allocation(1, 0x4000_0000)
+    assert vm.incursions["page_allocation"] == 1
+
+
+def test_vm_allocation_is_per_process():
+    vm = VMSystem(random.Random(0))
+    vm.allocate(1, 0x4000_0000)
+    assert vm.needs_allocation(2, 0x4000_0000)
+
+
+def test_vm_kernel_pages_never_allocate():
+    vm = VMSystem(random.Random(0))
+    assert not vm.needs_allocation(1, KERNEL_VIRT_BASE + 0x1000)
+
+
+def test_vm_release_range_refaults():
+    vm = VMSystem(random.Random(0))
+    base = 0x5000_0000
+    vm.allocate(1, base)
+    vm.allocate(1, base + PAGE_SIZE)
+    released = vm.release_range(1, base, 2)
+    assert released == 2
+    assert vm.needs_allocation(1, base)
+    assert vm.incursions["mmap_unmap"] == 1
+
+
+def test_vm_icache_flush_probability():
+    always = VMSystem(random.Random(0), icache_flush_prob=1.0)
+    never = VMSystem(random.Random(0), icache_flush_prob=0.0)
+    assert always.allocate(1, 0x1000_2000)
+    assert not never.allocate(1, 0x1000_2000)
+
+
+def test_vm_unknown_incursion_type_rejected():
+    vm = VMSystem(random.Random(0))
+    with pytest.raises(ValueError):
+        vm.record_incursion("bogus")
+    with pytest.raises(ValueError):
+        vm.allocate(1, 0x2000, kind="bogus")
+
+
+# -- address spaces ----------------------------------------------------------------
+
+def test_user_bases_disjoint():
+    assert user_base(1) - user_base(0) >= 0x1_0000_0000
+    with pytest.raises(ValueError):
+        user_base(-1)
+
+
+def test_is_kernel_address():
+    assert is_kernel_address(KERNEL_VIRT_BASE)
+    assert not is_kernel_address(user_base(3))
+
+
+def test_address_space_regions_and_asn():
+    asp = AddressSpace(pid=2, name="p2", asn=5)
+    r = asp.region("heap", 0x10_0000, 8, 4)
+    assert r.base == asp.base + 0x10_0000
+    assert asp.regions == [r]
+    assert asp.asn_for(r.base) == 5
+    assert asp.asn_for(KERNEL_VIRT_BASE) == 0  # kernel global ASN
+
+
+def test_address_space_region_alignment_check():
+    asp = AddressSpace(pid=0, name="p0")
+    with pytest.raises(ValueError):
+        asp.region("bad", 0x1001, 4, 2)
+
+
+# -- interrupt controller -----------------------------------------------------------
+
+def test_interrupts_delivered_round_robin():
+    ctl = InterruptController(3)
+    delivered = []
+    for i in range(3):
+        ctl.post(InterruptRequest(f"i{i}", 100))
+    ctl.dispatch(lambda ctx, req: delivered.append((ctx, req.label)) or True)
+    assert [ctx for ctx, _ in delivered] == [0, 1, 2]
+    assert ctl.delivered == {"i0": 1, "i1": 1, "i2": 1}
+
+
+def test_interrupt_stays_pending_when_all_refuse():
+    ctl = InterruptController(2)
+    ctl.post(InterruptRequest("x", 10))
+    count = ctl.dispatch(lambda ctx, req: False)
+    assert count == 0
+    assert len(ctl.pending) == 1
+
+
+def test_interrupt_skips_refusing_context():
+    ctl = InterruptController(2)
+    ctl.post(InterruptRequest("x", 10))
+    accepted = []
+    ctl.dispatch(lambda ctx, req: (ctx == 1) and (accepted.append(ctx) or True))
+    assert accepted == [1]

@@ -1,0 +1,136 @@
+"""Tests for less-traveled OS paths: disk/DMA, interrupt backlog,
+TLB-flush-on-switch, and halt semantics."""
+
+import random
+
+import pytest
+
+from repro.core.simulator import Simulation
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.os_model.address_space import AddressSpace
+from repro.os_model.kernel import MiniDUX
+from repro.os_model.thread import ThreadState
+from repro.workloads.specint import SpecIntWorkload
+
+
+@pytest.fixture
+def osk():
+    return MiniDUX(MemoryHierarchy(), n_contexts=2, rng=random.Random(12))
+
+
+def make_thread(osk, behavior):
+    from repro.isa.code import CodeModel, CodeModelConfig, SegmentSpec
+    from repro.isa.mix import InstructionMix
+    asp = AddressSpace(pid=0, name="p0")
+    asp.region("heap", 0x40_0000, 8, 4)
+    code = CodeModel(CodeModelConfig(
+        "p0", asp.base + 0x1_0000, InstructionMix(),
+        segments=(SegmentSpec("main", 40, 8),), seed=0))
+    return osk.create_process("p0", 0, code, asp, lambda t: behavior)
+
+
+def drain(thread):
+    services = []
+    while thread.frames:
+        fr = thread.frames[-1]
+        if not fr.started:
+            fr.start()
+        instr = fr.next_instruction()
+        if instr is None:
+            thread.frames.pop()
+            if fr.on_complete:
+                fr.on_complete()
+            continue
+        services.append(instr.service)
+    return services
+
+
+def test_disk_read_invalidates_via_dma(osk):
+    t = make_thread(osk, iter(()))
+    target = osk.reg_filecache.base
+    # Pre-warm the line the DMA will overwrite.
+    osk.hierarchy.l1d.access(target, 1, 1)
+    assert osk.hierarchy.l1d.probe(target)
+    osk.dispatch(t, ("syscall", "read", {
+        "nbytes": 256,
+        "copy": (target, t.process.regions[0].base, True, False),
+        "disk": True,
+        "dma": (target, 256),
+    }), 0)
+    services = drain(t)
+    assert "syscall:read" in services
+    assert not osk.hierarchy.l1d.probe(target)  # DMA invalidated it
+
+
+def test_post_frames_run_effects_in_order(osk):
+    t = make_thread(osk, iter(()))
+    order = []
+    osk.dispatch(t, ("syscall", "writev", {
+        "post_frames": [
+            ("nettx", 20, lambda: order.append("a")),
+            ("nettx", 20, lambda: order.append("b")),
+        ],
+        "on_done": lambda: order.append("done"),
+    }), 0)
+    drain(t)
+    assert order == ["a", "b", "done"]
+
+
+def test_interrupt_backlog_refused(osk):
+    cpu = osk.cpu_threads[0]
+    from repro.os_model.thread import Frame
+    for _ in range(30):  # exceed the delivery backlog threshold
+        cpu.push_frame(Frame(cpu.kernel_walker, 5, "intr:net", "intr"))
+    assert not osk._deliver_interrupt(0, type("R", (), {
+        "label": "intr:net", "cost": 50, "effect": None})())
+
+
+def test_tlb_flush_on_switch_mode():
+    base = Simulation(SpecIntWorkload(), seed=88)
+    base_result = base.run(max_instructions=60_000)
+    flush = Simulation(SpecIntWorkload(), seed=88, tlb_flush_on_switch=True)
+    flush_result = flush.run(max_instructions=60_000)
+    # Flushing cannot reduce the number of TLB invalidation flushes.
+    assert (flush_result.hierarchy.dtlb.asn_flushes
+            >= base_result.hierarchy.dtlb.asn_flushes)
+
+
+def test_halt_directive_stalls_thread(osk):
+    t = make_thread(osk, iter([("halt", 500), ("compute", 5)]))
+    osk.scheduler.make_ready(t)
+    stream = osk.streams[0]
+    # Drive until the thread is current and halted (boot handlers first).
+    for i in range(5000):
+        stream.next_instruction(i)
+        if t.halt_until > 0:
+            break
+    assert t.halt_until > 0
+    assert t.state is not ThreadState.BLOCKED  # halted, not blocked
+
+
+def test_invalid_halt_free_threads_unaffected(osk):
+    t = make_thread(osk, iter([("compute", 5)]))
+    assert t.halt_until == 0
+
+
+def test_syscall_latency_recorded(osk):
+    t = make_thread(osk, iter(()))
+    osk.now = 100
+    osk.dispatch(t, ("syscall", "getpid", {}), 100)
+    osk.now = 240
+    drain(t)
+    count, total = osk.syscall_latency["getpid"]
+    assert count == 1
+    assert total == 140
+
+
+def test_syscall_latency_accumulates(osk):
+    t = make_thread(osk, iter(()))
+    for start in (10, 50):
+        osk.now = start
+        osk.dispatch(t, ("syscall", "umask", {}), start)
+        osk.now = start + 30
+        drain(t)
+    count, total = osk.syscall_latency["umask"]
+    assert count == 2
+    assert total == 60

@@ -1,0 +1,60 @@
+"""Tests for the paper-vs-measured comparison machinery."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.paper import PAPER, ComparisonRow, build_comparison, render_markdown
+
+
+@pytest.fixture(scope="module")
+def tiny_records():
+    experiments.clear_cache()
+    records = {
+        "specint-smt-full": experiments.get_run("specint", "smt", "full",
+                                                instructions=40_000, seed=71),
+        "specint-smt-app": experiments.get_run("specint", "smt", "app",
+                                               instructions=40_000, seed=71),
+        "specint-ss-full": experiments.get_run("specint", "ss", "full",
+                                               instructions=30_000, seed=71),
+        "specint-ss-app": experiments.get_run("specint", "ss", "app",
+                                              instructions=30_000, seed=71),
+        "apache-smt-full": experiments.get_run("apache", "smt", "full",
+                                               instructions=60_000, seed=71),
+        "apache-ss-full": experiments.get_run("apache", "ss", "full",
+                                              instructions=40_000, seed=71),
+        "apache-smt-omit": experiments.get_run("apache", "smt", "omit",
+                                               instructions=40_000, seed=71),
+    }
+    yield records
+    experiments.clear_cache()
+
+
+def test_reference_values_present():
+    assert PAPER["smt_apache_ipc"] == 4.6
+    assert PAPER["ss_apache_ipc"] == 1.1
+    assert PAPER["apache_os_share"] == 0.75
+
+
+def test_comparison_produces_rows(tiny_records):
+    rows = build_comparison(tiny_records)
+    assert len(rows) >= 15
+    exhibits = {r.exhibit for r in rows}
+    assert {"Fig 1", "Tab 4", "Fig 6", "Tab 6", "Tab 9"} <= exhibits
+    for r in rows:
+        assert isinstance(r.holds, bool)
+        assert r.shape_criterion
+
+
+def test_markdown_rendering(tiny_records):
+    rows = build_comparison(tiny_records)
+    text = render_markdown(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("| Exhibit ")
+    assert len(lines) == len(rows) + 2  # header + separator
+
+
+def test_row_markdown_format():
+    row = ComparisonRow("Tab X", "thing", 1.5, 1.234567, "criterion", True)
+    md = row.as_markdown()
+    assert md.startswith("| Tab X |")
+    assert "1.23" in md and "yes" in md

@@ -1,0 +1,244 @@
+"""Unit tests for the pipeline core, driven by scripted instruction streams."""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.core.config import CPUConfig
+from repro.core.processor import Processor
+from repro.core.stats import SimStats
+from repro.isa.instruction import (
+    Instruction,
+    ST_COMPLETED,
+    ST_RETIRED,
+    ST_SQUASHED,
+)
+from repro.isa.types import InstrType, Mode
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+#: Fast memory geometry so unit tests exercise pipeline mechanics rather
+#: than waiting out cold-miss latencies.
+FAST_MEMORY = MemoryConfig(
+    l1_fill_penalty=1, l2_latency=2, mem_latency=4,
+    l1l2_bus_latency=0, mem_bus_latency=0,
+)
+
+
+class ScriptedStream:
+    """A fake context stream that serves a fixed instruction list."""
+
+    def __init__(self, instructions=()):
+        self.queue = deque(instructions)
+        self.replay = deque()
+        self.current_service = "user"
+
+    def next_instruction(self, now):
+        if self.replay:
+            return self.replay.popleft()
+        return self.queue.popleft() if self.queue else None
+
+    def push_replay(self, instructions):
+        self.replay.extend(instructions)
+
+
+def alu(pc, dep=False):
+    return Instruction(InstrType.INT_ALU, Mode.USER, "user", pc, dep=dep)
+
+
+def load(pc, addr):
+    return Instruction(InstrType.LOAD, Mode.USER, "user", pc, addr=addr)
+
+
+def fp(pc):
+    return Instruction(InstrType.FP_ALU, Mode.USER, "user", pc, latency=4)
+
+
+def branch(pc, taken, target):
+    return Instruction(InstrType.COND_BRANCH, Mode.USER, "user", pc,
+                       taken=taken, target=target)
+
+
+def make_processor(streams, n_contexts=None, **cfg_kwargs):
+    n = n_contexts or len(streams)
+    cfg = CPUConfig(n_contexts=n, fetch_contexts=min(2, n), **cfg_kwargs)
+    stats = SimStats(n)
+    proc = Processor(cfg, streams, MemoryHierarchy(FAST_MEMORY), stats, random.Random(0))
+    return proc, stats
+
+
+def run_cycles(proc, n):
+    for t in range(n):
+        proc.cycle(t)
+
+
+def test_straight_line_code_retires():
+    stream = ScriptedStream([alu(0x1000 + 4 * i) for i in range(40)])
+    proc, stats = make_processor([stream])
+    run_cycles(proc, 60)
+    assert stats.retired == 40
+    assert stats.fetched == 40
+    assert stats.squashed == 0
+
+
+def test_in_order_retirement_per_context():
+    instrs = [alu(0x1000 + 4 * i) for i in range(10)]
+    stream = ScriptedStream(instrs)
+    proc, stats = make_processor([stream])
+    retired_order = []
+    original = stats.retire
+
+    def spy(instr):
+        retired_order.append(instr.pc)
+        original(instr)
+
+    stats.retire = spy
+    run_cycles(proc, 30)
+    assert retired_order == sorted(retired_order)
+
+
+def _cycles_to_retire(instrs, n):
+    proc, stats = make_processor([ScriptedStream(instrs)])
+    for t in range(500):
+        proc.cycle(t)
+        if stats.retired >= n:
+            return t
+    raise AssertionError("did not finish")
+
+
+def test_dependent_chain_serializes():
+    chain = [alu(0x1000 + 4 * i, dep=True) for i in range(20)]
+    indep = [alu(0x2000 + 4 * i, dep=False) for i in range(20)]
+    # A fully dependent chain must take longer than independent work.
+    assert _cycles_to_retire(chain, 20) > _cycles_to_retire(indep, 20)
+
+
+def test_load_latency_from_hierarchy():
+    stream = ScriptedStream([load(0x1000, 0x9000)])
+    proc, stats = make_processor([stream])
+    run_cycles(proc, 3)
+    assert stats.retired == 0  # cold miss keeps it in flight
+    for t in range(3, 80):
+        proc.cycle(t)
+    assert stats.retired == 1
+
+
+def test_fp_uses_fp_queue():
+    stream = ScriptedStream([fp(0x1000) for _ in range(6)])
+    proc, stats = make_processor([stream])
+    peak_fp = 0
+    for t in range(40):
+        proc.cycle(t)
+        peak_fp = max(peak_fp, proc.fp_count)
+    assert peak_fp > 0          # FP work went through the FP queue
+    assert stats.retired == 6
+
+
+def test_mispredicted_branch_squashes_and_replays():
+    instrs = [branch(0x1000, True, 0x4000)] + [alu(0x4000 + 4 * i) for i in range(12)]
+    stream = ScriptedStream(instrs)
+    proc, stats = make_processor([stream])
+    # Pre-warm the I-cache so younger instructions enter the pipeline and
+    # are genuinely in flight when the branch resolves.
+    proc.hierarchy.inst_access(0, 0x1000, 0, 0)
+    proc.hierarchy.inst_access(0, 0x4000, 0, 0)
+    run_cycles(proc, 80)
+    # The cold predictor misses the taken branch; younger instructions are
+    # squashed once and replayed to completion.
+    assert stats.squashed > 0
+    assert stats.retired == 13
+
+
+def test_correctly_predicted_fallthrough_no_squash():
+    instrs = []
+    for i in range(10):
+        pc = 0x1000 + 8 * i
+        instrs.append(branch(pc, False, pc + 4))
+        instrs.append(alu(pc + 4))
+    stream = ScriptedStream(instrs)
+    proc, stats = make_processor([stream])
+    run_cycles(proc, 60)
+    assert stats.retired == 20
+    assert stats.squashed == 0   # not-taken is the cold default
+
+
+def test_fetch_stops_at_predicted_taken_branch():
+    # Train the predictor so the branch is predicted taken, then check the
+    # fetch block ends there (one fetch group should not include younger).
+    proc, stats = make_processor([ScriptedStream()])
+    unit = proc.branch_unit
+    for _ in range(40):
+        unit.predictor.update(0x1000, True)
+    unit.btb.insert(0x1000, 0x4000, 0, 0)
+    # Pre-warm the I-cache so fetch is not blocked by cold misses.
+    proc.hierarchy.inst_access(0, 0x1000, 0, 0)
+    proc.hierarchy.inst_access(0, 0x4000, 0, 0)
+    proc.contexts[0].last_line = -1
+    b = branch(0x1000, True, 0x4000)
+    younger = alu(0x4000)
+    proc.contexts[0].stream = ScriptedStream([b, younger])
+    proc.cycle(0)
+    assert b.state != ST_SQUASHED
+    assert b.fetch_cycle == 0
+    assert younger.fetch_cycle != 0  # fetched on a later cycle
+
+
+def test_icount_prefers_less_loaded_context():
+    # Context 0 has a long dependent chain clogging its queue share;
+    # context 1 should still make progress.
+    chain = [alu(0x1000 + 4 * i, dep=True) for i in range(30)]
+    fast = [alu(0x8000 + 4 * i) for i in range(30)]
+    proc, stats = make_processor([ScriptedStream(chain), ScriptedStream(fast)])
+    run_cycles(proc, 100)
+    assert stats.retired == 60
+
+
+def test_queue_full_stalls_fetch():
+    chain = [alu(0x1000 + 4 * i, dep=True) for i in range(64)]
+    proc, stats = make_processor([ScriptedStream(chain)], int_queue=8)
+    run_cycles(proc, 10)
+    assert stats.queue_full_stalls > 0
+    assert proc.int_count <= 8
+
+
+def test_inflight_limit_respected():
+    instrs = [load(0x1000 + 4 * i, 0x100000 + 64 * i) for i in range(300)]
+    proc, stats = make_processor([ScriptedStream(instrs)],
+                                 rename_registers=16, int_queue=8)
+    run_cycles(proc, 40)
+    assert proc.inflight <= proc.config.inflight_limit
+
+
+def test_zero_fetch_counted_when_stream_empty():
+    proc, stats = make_processor([ScriptedStream([])])
+    run_cycles(proc, 10)
+    assert stats.zero_fetch_cycles == 10
+    assert stats.retired == 0
+
+
+def test_charge_cycle_attributes_services():
+    stream = ScriptedStream([alu(0x1000)])
+    proc, stats = make_processor([stream])
+    run_cycles(proc, 3)
+    assert sum(stats.service_cycles.values()) == 3  # 1 context x 3 cycles
+
+
+def test_retire_width_bounds_throughput():
+    instrs = [alu(0x1000 + 4 * i) for i in range(48)]
+    proc, stats = make_processor([ScriptedStream(instrs)], retire_width=2)
+    run_cycles(proc, 12)
+    assert stats.retired <= 2 * 12
+
+
+def test_squash_restores_queue_counts():
+    instrs = [branch(0x1000, True, 0x4000)] + \
+             [alu(0x4000 + 4 * i, dep=(i % 2 == 0)) for i in range(20)]
+    proc, stats = make_processor([ScriptedStream(instrs)])
+    proc.hierarchy.inst_access(0, 0x1000, 0, 0)
+    proc.hierarchy.inst_access(0, 0x4000, 0, 0)
+    run_cycles(proc, 120)
+    assert stats.retired == 21
+    assert proc.int_count == 0
+    assert proc.fp_count == 0
+    assert proc.inflight == 0
+    assert proc.contexts[0].queued == 0

@@ -1,0 +1,91 @@
+"""Property-based tests on pipeline invariants, driven by randomized
+scripted instruction streams."""
+
+import random
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CPUConfig
+from repro.core.processor import Processor
+from repro.core.stats import SimStats
+from repro.isa.instruction import Instruction
+from repro.isa.types import InstrType, Mode
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+FAST = MemoryConfig(l1_fill_penalty=1, l2_latency=2, mem_latency=4,
+                    l1l2_bus_latency=0, mem_bus_latency=0)
+
+_KINDS = (InstrType.INT_ALU, InstrType.LOAD, InstrType.STORE,
+          InstrType.FP_ALU, InstrType.COND_BRANCH)
+
+
+class _Stream:
+    def __init__(self, instrs):
+        self.queue = deque(instrs)
+        self.replay = deque()
+        self.current_service = "user"
+
+    def next_instruction(self, now):
+        if self.replay:
+            return self.replay.popleft()
+        return self.queue.popleft() if self.queue else None
+
+    def push_replay(self, instrs):
+        self.replay.extend(instrs)
+
+
+def _random_program(rng, n, base_pc):
+    out = []
+    pc = base_pc
+    for _ in range(n):
+        kind = rng.choice(_KINDS)
+        if kind is InstrType.COND_BRANCH:
+            taken = rng.random() < 0.6
+            target = pc + (64 if taken else 4)
+            out.append(Instruction(kind, Mode.USER, "user", pc,
+                                   taken=taken, target=target,
+                                   dep=rng.random() < 0.4))
+            pc = target
+        elif kind in (InstrType.LOAD, InstrType.STORE):
+            out.append(Instruction(kind, Mode.USER, "user", pc,
+                                   addr=base_pc + rng.randrange(0, 1 << 14, 8),
+                                   dep=rng.random() < 0.4))
+            pc += 4
+        else:
+            lat = 4 if kind is InstrType.FP_ALU else 1
+            out.append(Instruction(kind, Mode.USER, "user", pc, latency=lat,
+                                   dep=rng.random() < 0.4))
+            pc += 4
+    return out
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n_contexts=st.sampled_from([1, 2, 4]),
+       length=st.integers(10, 120))
+def test_pipeline_invariants_hold_for_random_programs(seed, n_contexts, length):
+    rng = random.Random(seed)
+    streams = [_Stream(_random_program(rng, length, 0x1_0000_0000 * (c + 1)))
+               for c in range(n_contexts)]
+    cfg = CPUConfig(n_contexts=n_contexts, fetch_contexts=min(2, n_contexts),
+                    pipeline_stages=7 if n_contexts == 1 else 9)
+    stats = SimStats(n_contexts)
+    proc = Processor(cfg, streams, MemoryHierarchy(FAST), stats,
+                     random.Random(seed + 1))
+    for t in range(2500):
+        proc.cycle(t)
+        assert 0 <= proc.inflight <= cfg.inflight_limit
+        assert 0 <= proc.int_count <= cfg.int_queue
+        assert 0 <= proc.fp_count <= cfg.fp_queue
+        if stats.retired == length * n_contexts:
+            break
+    # Every instruction eventually retires exactly once.
+    assert stats.retired == length * n_contexts
+    assert proc.inflight == 0
+    assert proc.int_count == 0 and proc.fp_count == 0
+    for ctx in proc.contexts:
+        assert not ctx.rob
+        assert ctx.queued == 0
+    # Accounting identity: fetches cover retires plus squash events.
+    assert stats.fetched >= stats.retired
+    assert stats.fetched >= stats.retired + stats.squashed

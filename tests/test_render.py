@@ -1,0 +1,55 @@
+"""Tests for the text renderers."""
+
+from repro.analysis.render import change_str, format_bars, format_table, format_timeline, pct
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "bbb"], [["x", 1.234], ["yy", 10.5]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.23" in text
+    assert "10.5" in text
+
+
+def test_format_table_note():
+    text = format_table("T", ["a"], [["x"]], note="hello")
+    assert text.endswith("hello")
+
+
+def test_format_table_number_precision():
+    text = format_table("T", ["v"], [[123.456], [0.0], [99.99]])
+    assert "123" in text
+    assert "0.0" in text
+
+
+def test_format_bars_scales_to_peak():
+    text = format_bars("B", [("big", 50.0), ("small", 5.0)], width=10)
+    lines = text.splitlines()
+    big = next(l for l in lines if l.startswith("big"))
+    small = next(l for l in lines if l.startswith("small"))
+    assert big.count("#") == 10
+    assert 0 <= small.count("#") <= 2
+
+
+def test_format_bars_empty():
+    assert "(no data)" in format_bars("B", [])
+
+
+def test_format_timeline_boundary_marker():
+    samples = [(100, (1.0, 0.0, 0.0, 0.0)), (200, (0.5, 0.5, 0.0, 0.0))]
+    text = format_timeline("TL", samples, ("user", "kernel", "pal", "idle"),
+                           boundary=150)
+    assert "steady state" in text
+    assert "100" in text and "200" in text
+
+
+def test_pct():
+    assert pct(0.25) == 25.0
+
+
+def test_change_str_formats():
+    assert change_str(10, 10.5) == "+5%"
+    assert change_str(10, 9) == "-10%"
+    assert change_str(1, 5.5) == "5.5x"
+    assert change_str(0, 0) == "--"
+    assert change_str(0, 3) == "new"

@@ -1,0 +1,157 @@
+"""Tests for the SMP-style scheduler and ASN management."""
+
+import random
+
+import pytest
+
+from repro.os_model.address_space import AddressSpace
+from repro.os_model.scheduler import Scheduler
+from repro.os_model.thread import SoftwareThread, ThreadState
+
+
+def make_thread(tid, name="t", priority=1):
+    thread = SoftwareThread(tid, f"{name}{tid}", AddressSpace(pid=tid, name=f"p{tid}"))
+    thread.priority = priority
+    return thread
+
+
+def make_sched(n=2, quantum=100):
+    flushed = []
+    sched = Scheduler(n, quantum, random.Random(0), asn_count=4)
+    sched.flush_asn = flushed.append
+    for ctx in range(n):
+        idle = make_thread(900 + ctx, "idle")
+        sched.set_idle_thread(ctx, idle)
+    return sched, flushed
+
+
+def test_pick_next_falls_back_to_idle():
+    sched, _ = make_sched()
+    thread = sched.pick_next(0)
+    assert thread is sched.idle[0]
+
+
+def test_make_ready_and_install():
+    sched, _ = make_sched()
+    t = make_thread(1)
+    sched.make_ready(t)
+    picked = sched.pick_next(0)
+    assert picked is t
+    sched.install(0, picked, now=0)
+    assert sched.current[0] is t
+    assert t.state is ThreadState.RUNNING
+
+
+def test_make_ready_idempotent():
+    sched, _ = make_sched()
+    t = make_thread(1)
+    sched.make_ready(t)
+    sched.make_ready(t)
+    assert sched.run_queue.count(t) == 1
+
+
+def test_install_requeues_displaced_runnable_thread():
+    sched, _ = make_sched()
+    a, b = make_thread(1), make_thread(2)
+    sched.make_ready(a)
+    sched.make_ready(b)
+    sched.install(0, sched.pick_next(0), now=0)
+    displaced = sched.install(0, sched.pick_next(0), now=10)
+    assert displaced is a
+    assert a in sched.run_queue
+
+
+def test_quantum_drives_should_resched():
+    sched, _ = make_sched(quantum=50)
+    a, b = make_thread(1), make_thread(2)
+    sched.make_ready(a)
+    sched.make_ready(b)
+    sched.install(0, sched.pick_next(0), now=0)
+    assert not sched.should_resched(0, now=10)
+    assert sched.should_resched(0, now=60)
+
+
+def test_no_resched_on_quantum_without_waiters():
+    sched, _ = make_sched(quantum=50)
+    a = make_thread(1)
+    sched.make_ready(a)
+    sched.install(0, sched.pick_next(0), now=0)
+    assert not sched.should_resched(0, now=500)
+
+
+def test_blocked_thread_triggers_resched():
+    sched, _ = make_sched()
+    a = make_thread(1)
+    sched.make_ready(a)
+    sched.install(0, sched.pick_next(0), now=0)
+    a.block("wait")
+    assert sched.should_resched(0, now=1)
+
+
+def test_idle_preempted_when_work_arrives():
+    sched, _ = make_sched()
+    sched.install(0, sched.pick_next(0), now=0)  # idle
+    t = make_thread(1)
+    sched.make_ready(t)
+    assert sched.should_resched(0, now=1)
+
+
+def test_high_priority_preempts_timeshare():
+    sched, _ = make_sched(quantum=10_000)
+    user = make_thread(1)
+    sched.make_ready(user)
+    sched.install(0, sched.pick_next(0), now=0)
+    daemon = make_thread(2, priority=0)
+    sched.make_ready(daemon)
+    assert sched.should_resched(0, now=1)
+    assert sched.pick_next(0) is daemon
+
+
+def test_bound_thread_only_runs_on_its_context():
+    sched, _ = make_sched()
+    t = make_thread(1)
+    t.bound_context = 1
+    sched.make_ready(t)
+    assert sched.pick_next(0) is sched.idle[0]
+    assert sched.pick_next(1) is t
+
+
+def test_asn_assignment_and_reuse():
+    sched, flushed = make_sched()
+    p1 = AddressSpace(pid=1, name="p1")
+    assert sched.assign_asn(p1)
+    first = p1.asn
+    assert first > 0
+    assert not sched.assign_asn(p1)  # stable on re-check
+    assert p1.asn == first
+    assert not flushed
+
+
+def test_asn_recycling_flushes_victim():
+    sched, flushed = make_sched()  # asn_count=4 -> 3 user slots
+    procs = [AddressSpace(pid=i, name=f"p{i}") for i in range(5)]
+    for p in procs:
+        sched.assign_asn(p)
+    assert sched.asn_recycles >= 2
+    assert flushed  # the recycled ASNs were flushed from the TLBs
+    # Victims lost their ASN.
+    assert sum(1 for p in procs if p.asn == -1) == sched.asn_recycles
+
+
+def test_asn_of_running_process_not_recycled():
+    sched, _ = make_sched()
+    running = make_thread(1)
+    sched.make_ready(running)
+    sched.assign_asn(running.process)
+    sched.install(0, sched.pick_next(0), now=0)
+    for i in range(2, 9):
+        sched.assign_asn(AddressSpace(pid=i, name=f"p{i}"))
+    assert running.process.asn > 0  # survived all recycling
+
+
+def test_done_thread_never_enqueued():
+    sched, _ = make_sched()
+    t = make_thread(1)
+    t.state = ThreadState.DONE
+    sched.make_ready(t)
+    assert t not in sched.run_queue

@@ -1,0 +1,104 @@
+"""Tests for the SPECWeb96-like file set and client model."""
+
+import random
+
+import pytest
+
+from repro.isa.data import Region
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.net.packets import Packet
+from repro.net.stack import NetworkStack
+from repro.os_model.kernel import MiniDUX
+from repro.workloads.specweb import SpecWebClients, SpecWebFileSet
+
+
+@pytest.fixture
+def filecache():
+    return Region("fc", 0x8_0000_0000_0000, 128, 24, phys=True)
+
+
+def test_fileset_has_36_files(filecache):
+    fs = SpecWebFileSet(filecache)
+    assert len(fs.files) == 36
+
+
+def test_fileset_sizes_scale(filecache):
+    full = SpecWebFileSet(filecache, scale_div=1)
+    scaled = SpecWebFileSet(filecache, scale_div=8)
+    assert max(f.size for f in full.files) == 102400 * 9
+    assert max(f.size for f in scaled.files) == 102400 * 9 // 8
+    assert min(f.size for f in scaled.files) >= 128
+
+
+def test_fileset_class_mix(filecache):
+    fs = SpecWebFileSet(filecache)
+    rng = random.Random(0)
+    counts = [0, 0, 0, 0]
+    for _ in range(20000):
+        f = fs.pick(rng)
+        counts[f.file_id // 9] += 1
+    total = sum(counts)
+    assert counts[0] / total == pytest.approx(0.35, abs=0.03)
+    assert counts[1] / total == pytest.approx(0.50, abs=0.03)
+    assert counts[2] / total == pytest.approx(0.14, abs=0.03)
+    assert counts[3] / total == pytest.approx(0.01, abs=0.01)
+
+
+def test_fileset_extents_inside_filecache(filecache):
+    fs = SpecWebFileSet(filecache)
+    for f in fs.files:
+        assert filecache.contains(fs.extent_address(f.file_id))
+
+
+def test_fileset_scale_validation(filecache):
+    with pytest.raises(ValueError):
+        SpecWebFileSet(filecache, scale_div=0)
+
+
+@pytest.fixture
+def client_rig():
+    osk = MiniDUX(MemoryHierarchy(), n_contexts=1, rng=random.Random(7))
+    stack = NetworkStack(osk, random.Random(8), n_netisr=1)
+    fs = SpecWebFileSet(osk.reg_filecache)
+    clients = SpecWebClients(osk, stack, fs, random.Random(9),
+                             n_clients=4, think_mean=500, rampup=100)
+    return osk, stack, clients
+
+
+def test_clients_send_initial_requests(client_rig):
+    osk, stack, clients = client_rig
+    clients.tick(10_000)
+    assert clients.requests_sent == 4
+    assert stack.nic.packets_received == 4
+
+
+def test_closed_loop_response_completion(client_rig):
+    osk, stack, clients = client_rig
+    clients.tick(10_000)
+    conn_id = next(iter(clients._expecting))
+    conn = stack.connections[conn_id]
+    conn.bytes_to_send = 100
+    osk.now = 20_000
+    clients.receive(Packet(conn_id, 100, "resp"))
+    assert clients.responses_completed == 1
+    assert conn_id not in clients._expecting
+    # The client goes back on the think heap for a future request.
+    assert any(c == conn.client_id for _, c in clients._due)
+
+
+def test_response_generates_ack_or_fin(client_rig):
+    osk, stack, clients = client_rig
+    clients.tick(10_000)
+    before = stack.nic.packets_received
+    conn_id = next(iter(clients._expecting))
+    stack.connections[conn_id].bytes_to_send = 100
+    osk.now = 20_000
+    clients.receive(Packet(conn_id, 100, "resp"))
+    # ack (p=1.0) + fin arrive back at the NIC.
+    assert stack.nic.packets_received >= before + 2
+
+
+def test_unknown_connection_packets_ignored(client_rig):
+    _, _, clients = client_rig
+    clients.receive(Packet(9999, 100, "resp"))
+    assert clients.responses_completed == 0

@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload kit and parameter sweeps."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    DEFAULT_METRICS,
+    Sweep,
+    SweepPoint,
+    cache_scale_sweep,
+    context_sweep,
+    quantum_sweep,
+    run_sweep,
+)
+from repro.core.simulator import Simulation
+from repro.workloads.synthetic import SyntheticProgram, SyntheticWorkload
+
+
+def test_program_validation():
+    with pytest.raises(ValueError):
+        SyntheticProgram("x", syscall="frobnicate")
+    with pytest.raises(ValueError):
+        SyntheticProgram("x", syscall_rate=2.0)
+    with pytest.raises(ValueError):
+        SyntheticWorkload([])
+
+
+def test_dep_heavy_raises_dependence():
+    light = SyntheticProgram("a").mix()
+    heavy = SyntheticProgram("a", dep_heavy=True).mix()
+    from repro.isa.types import InstrType
+    assert heavy.dep_prob[InstrType.LOAD] > light.dep_prob[InstrType.LOAD]
+
+
+def test_synthetic_workload_runs():
+    wl = SyntheticWorkload([
+        SyntheticProgram("chaser", dep_heavy=True),
+        SyntheticProgram("logger", syscall_rate=1.0, syscall="write",
+                         compute_chunk=800),
+    ])
+    result = Simulation(wl, seed=77).run(max_instructions=60_000)
+    assert result.stats.retired >= 60_000
+    assert len(wl.threads) == 2
+    # The logger issued its system call.
+    assert result.os.syscall_counts.get("write", 0) > 0
+
+
+def test_dep_heavy_program_is_slower():
+    def run(dep_heavy):
+        wl = SyntheticWorkload([SyntheticProgram("p", dep_heavy=dep_heavy)])
+        sim = Simulation(wl, seed=78)
+        sim.run(max_instructions=30_000)   # boot + first-touch warm-up
+        before = (sim.stats.retired, sim.stats.cycles)
+        sim.run(max_instructions=60_000)
+        return (sim.stats.retired - before[0]) / (sim.stats.cycles - before[1])
+
+    assert run(True) < run(False)
+
+
+def test_warmed_up_tracks_marks():
+    wl = SyntheticWorkload([SyntheticProgram("p", touch_pages_on_start=1)])
+    sim = Simulation(wl, seed=79)
+    assert not wl.warmed_up(sim.os)
+    # A sparse workload shares the machine with idle/boot activity, so give
+    # the single program room to clear its first-touch storm.
+    sim.run(max_instructions=90_000)
+    assert wl.warmed_up(sim.os)
+
+
+def test_run_sweep_collects_metrics():
+    wl_points = []
+
+    def build(value):
+        wl = SyntheticWorkload([SyntheticProgram("p", compute_chunk=value)])
+        wl_points.append(value)
+        return Simulation(wl, seed=80)
+
+    sweep = run_sweep("test", "chunk", [2000, 4000], build,
+                      instructions=15_000)
+    assert wl_points == [2000, 4000]
+    assert len(sweep.points) == 2
+    for point in sweep.points:
+        assert set(point.metrics) == set(DEFAULT_METRICS)
+        assert point.metrics["ipc"] > 0
+
+
+def test_sweep_series_and_render():
+    sweep = Sweep("s", "x", [SweepPoint(1, {"ipc": 2.0}),
+                             SweepPoint(2, {"ipc": 3.0})])
+    assert sweep.series("ipc") == [(1, 2.0), (2, 3.0)]
+    text = sweep.render("ipc")
+    assert "x=1" in text and "3.000" in text
+
+
+def test_context_sweep_shows_smt_gain():
+    sweep = context_sweep("specint", contexts=(1, 4), instructions=40_000)
+    series = dict(sweep.series("ipc"))
+    assert series[4] > series[1]
+
+
+def test_quantum_sweep_runs():
+    sweep = quantum_sweep("specint", quanta=(10_000,), instructions=20_000)
+    assert len(sweep.points) == 1
+
+
+def test_cache_scale_sweep_directionality():
+    sweep = cache_scale_sweep("specint", scales=(0.25, 2.0),
+                              instructions=40_000)
+    series = dict(sweep.series("l1d_miss"))
+    assert series[0.25] >= series[2.0]

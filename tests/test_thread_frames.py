@@ -1,0 +1,107 @@
+"""Tests for software threads and execution frames."""
+
+import random
+
+import pytest
+
+from repro.isa.code import CodeModel, CodeModelConfig, CodeWalker, SegmentSpec
+from repro.isa.data import DataModel, Region
+from repro.isa.mix import InstructionMix
+from repro.isa.types import Mode
+from repro.os_model.address_space import AddressSpace
+from repro.os_model.thread import Frame, SoftwareThread, ThreadState
+
+
+@pytest.fixture
+def walker():
+    rng = random.Random(5)
+    model = CodeModel(CodeModelConfig(
+        "frame-code", 0x1000_0000, InstructionMix(),
+        segments=(SegmentSpec("a", 30, 6), SegmentSpec("b", 30, 6)),
+        seed=5))
+    data = DataModel([Region("fr", 0x2000_0000, 8, 4)], rng)
+    return CodeWalker(model, rng, data, Mode.KERNEL, "kernel", 1, 0)
+
+
+def test_frame_budget_respected(walker):
+    frame = Frame(walker, 7, "svc")
+    frame.start()
+    emitted = 0
+    while frame.next_instruction() is not None:
+        emitted += 1
+    assert emitted == 7
+
+
+def test_zero_budget_frame_emits_nothing(walker):
+    frame = Frame(walker, 0, "svc")
+    frame.start()
+    assert frame.next_instruction() is None
+
+
+def test_negative_budget_rejected(walker):
+    with pytest.raises(ValueError):
+        Frame(walker, -1, "svc")
+
+
+def test_frame_applies_service_label(walker):
+    frame = Frame(walker, 3, "syscall:test")
+    frame.start()
+    instr = frame.next_instruction()
+    assert instr.service == "syscall:test"
+
+
+def test_frame_segment_jump(walker):
+    frame = Frame(walker, 3, "svc", segment="b")
+    frame.start()
+    seg_b = walker.model.segments["b"]
+    assert seg_b.start <= walker.block < seg_b.end
+
+
+def test_frame_on_start_called_once(walker):
+    calls = []
+    frame = Frame(walker, 2, "svc", on_start=lambda: calls.append(1))
+    frame.start()
+    assert calls == [1]
+
+
+def test_thread_push_frames_order(walker):
+    thread = SoftwareThread(1, "t", AddressSpace(pid=0, name="p"))
+    first = Frame(walker, 1, "first")
+    second = Frame(walker, 1, "second")
+    thread.push_frames([first, second])
+    assert thread.current_frame is first
+
+
+def test_thread_push_frame_lifo(walker):
+    thread = SoftwareThread(1, "t", AddressSpace(pid=0, name="p"))
+    a = Frame(walker, 1, "a")
+    b = Frame(walker, 1, "b")
+    thread.push_frame(a)
+    thread.push_frame(b)
+    assert thread.current_frame is b
+
+
+def test_thread_block_and_wake():
+    thread = SoftwareThread(1, "t", AddressSpace(pid=0, name="p"))
+    assert thread.runnable
+    thread.block("accept")
+    assert thread.state is ThreadState.BLOCKED
+    assert thread.block_reason == "accept"
+    assert not thread.runnable
+    thread.wake()
+    assert thread.runnable
+    assert thread.block_reason is None
+
+
+def test_wake_does_not_resurrect_done_thread():
+    thread = SoftwareThread(1, "t", AddressSpace(pid=0, name="p"))
+    thread.state = ThreadState.DONE
+    thread.wake()
+    assert thread.state is ThreadState.DONE
+
+
+def test_defer_parks_instruction():
+    thread = SoftwareThread(1, "t", AddressSpace(pid=0, name="p"))
+    sentinel = object()
+    thread.defer(sentinel)
+    assert thread.pending[0] is sentinel

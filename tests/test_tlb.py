@@ -1,0 +1,134 @@
+"""Tests for the ASN-tagged TLB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.classify import MissCause
+from repro.memory.tlb import KERNEL_ASN, TLB
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TLB("bad", 0)
+
+
+def test_probe_miss_does_not_fill():
+    tlb = TLB("T", 4)
+    assert not tlb.probe(10, 1, tid=0, kind=0)
+    assert not tlb.lookup(10, 1)
+    assert tlb.occupancy == 0
+
+
+def test_fill_then_hit():
+    tlb = TLB("T", 4)
+    tlb.probe(10, 1, 0, 0)
+    tlb.fill(10, 1, 0, 0)
+    assert tlb.probe(10, 1, 0, 0)
+    assert tlb.stats.miss_rate() == 0.5
+
+
+def test_asn_distinguishes_address_spaces():
+    tlb = TLB("T", 4)
+    tlb.fill(10, 1, 0, 0)
+    assert not tlb.probe(10, 2, 0, 0)  # same vpn, other ASN
+
+
+def test_lru_eviction_when_full():
+    tlb = TLB("T", 2)
+    tlb.fill(1, 1, 0, 0)
+    tlb.fill(2, 1, 0, 0)
+    tlb.probe(1, 1, 0, 0)  # refresh vpn 1
+    tlb.fill(3, 1, 0, 0)   # evicts vpn 2 (LRU)
+    assert tlb.lookup(1, 1)
+    assert not tlb.lookup(2, 1)
+    assert tlb.lookup(3, 1)
+
+
+def test_double_fill_is_idempotent():
+    tlb = TLB("T", 4)
+    tlb.fill(1, 1, 0, 0)
+    tlb.fill(1, 1, 5, 1)
+    assert tlb.occupancy == 1
+
+
+def test_eviction_classified_by_evictor():
+    tlb = TLB("T", 1)
+    tlb.probe(1, 1, 0, 0)
+    tlb.fill(1, 1, 0, 0)
+    tlb.fill(2, 1, 7, 0)        # thread 7 evicts thread 0's entry
+    assert not tlb.probe(1, 1, 0, 0)
+    assert tlb.stats.causes.get((0, int(MissCause.INTERTHREAD)), 0) == 1
+
+
+def test_kernel_evicting_user_is_user_kernel():
+    tlb = TLB("T", 1)
+    tlb.probe(1, 1, 0, 0)
+    tlb.fill(1, 1, 0, 0)
+    tlb.fill(2, KERNEL_ASN, 7, 1)   # kernel fill evicts
+    tlb.probe(1, 1, 0, 0)
+    assert tlb.stats.causes.get((0, int(MissCause.USER_KERNEL)), 0) == 1
+
+
+def test_flush_asn_selective():
+    tlb = TLB("T", 8)
+    tlb.fill(1, 1, 0, 0)
+    tlb.fill(2, 1, 0, 0)
+    tlb.fill(3, 2, 0, 0)
+    dropped = tlb.flush_asn(1)
+    assert dropped == 2
+    assert not tlb.lookup(1, 1)
+    assert tlb.lookup(3, 2)
+    assert tlb.asn_flushes == 1
+
+
+def test_flush_marks_invalidation_cause():
+    tlb = TLB("T", 8)
+    tlb.probe(1, 1, 0, 0)
+    tlb.fill(1, 1, 0, 0)
+    tlb.flush_asn(1)
+    tlb.probe(1, 1, 0, 0)
+    assert tlb.stats.causes.get((0, int(MissCause.INVALIDATION)), 0) == 1
+
+
+def test_flush_all():
+    tlb = TLB("T", 8)
+    tlb.fill(1, 1, 0, 0)
+    tlb.fill(2, 2, 0, 0)
+    assert tlb.flush_all() == 2
+    assert tlb.occupancy == 0
+
+
+def test_sharing_tracked_between_threads():
+    tlb = TLB("T", 8)
+    tlb.fill(1, KERNEL_ASN, 1, 1)       # kernel thread 1 fills
+    assert tlb.probe(1, KERNEL_ASN, 2, 1)  # thread 2 benefits
+    assert tlb.stats.avoided[(1, 1)] == 1
+
+
+def test_first_ever_miss_is_compulsory():
+    tlb = TLB("T", 8)
+    tlb.probe(42, 3, 0, 0)
+    assert tlb.stats.causes == {(0, int(MissCause.COMPULSORY)): 1}
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)),
+                     min_size=1, max_size=200),
+       capacity=st.integers(1, 16))
+def test_occupancy_never_exceeds_capacity(keys, capacity):
+    tlb = TLB("H", capacity)
+    for i, (vpn, asn) in enumerate(keys):
+        if not tlb.probe(vpn, asn, i % 4, i % 2):
+            tlb.fill(vpn, asn, i % 4, i % 2)
+    assert tlb.occupancy <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.tuples(st.integers(0, 30), st.integers(0, 3)),
+                     min_size=1, max_size=150))
+def test_tlb_causes_sum_to_misses(keys):
+    tlb = TLB("H", 8)
+    for i, (vpn, asn) in enumerate(keys):
+        if not tlb.probe(vpn, asn, i % 4, 0):
+            tlb.fill(vpn, asn, i % 4, 0)
+    assert sum(tlb.stats.causes.values()) == sum(tlb.stats.misses)

@@ -1,0 +1,81 @@
+"""Tests for the pipeline trace recorder."""
+
+import pytest
+
+from repro.core.simulator import Simulation
+from repro.core.trace import FETCH, RETIRE, SQUASH, TraceEvent, TraceRecorder
+from repro.isa.instruction import Instruction
+from repro.isa.types import InstrType, Mode
+from repro.workloads.specint import SpecIntWorkload
+
+
+def make_instr(service="user", pc=0x1000):
+    return Instruction(InstrType.INT_ALU, Mode.USER, service, pc)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_record_and_len():
+    tr = TraceRecorder(capacity=10)
+    tr.record(5, FETCH, 0, make_instr())
+    assert len(tr) == 1
+    assert tr.recorded == 1
+
+
+def test_ring_buffer_drops_oldest():
+    tr = TraceRecorder(capacity=3)
+    for i in range(5):
+        tr.record(i, FETCH, 0, make_instr(pc=0x1000 + 4 * i))
+    assert len(tr) == 3
+    assert tr.dropped == 2
+    assert tr.events[0].cycle == 2
+
+
+def test_kind_filter():
+    tr = TraceRecorder(kinds=(RETIRE,))
+    tr.record(0, FETCH, 0, make_instr())
+    tr.record(1, RETIRE, 0, make_instr())
+    assert len(tr) == 1
+    assert tr.events[0].kind == RETIRE
+
+
+def test_service_filter():
+    tr = TraceRecorder(services=("syscall:",))
+    tr.record(0, FETCH, 0, make_instr("user"))
+    tr.record(1, FETCH, 0, make_instr("syscall:read"))
+    assert [e.service for e in tr.events] == ["syscall:read"]
+
+
+def test_window_and_by_service():
+    tr = TraceRecorder()
+    for i in range(10):
+        tr.record(i * 10, FETCH, 0, make_instr("user" if i % 2 else "netisr"))
+    assert len(tr.window(20, 50)) == 3
+    assert all(e.service == "netisr" for e in tr.by_service("netisr"))
+
+
+def test_dump_renders_tail():
+    tr = TraceRecorder()
+    tr.record(7, FETCH, 2, make_instr("user", pc=0xABC0))
+    text = tr.dump()
+    assert "ctx2" in text
+    assert "0x00000000abc0" in text
+    assert "INT_ALU" in text
+
+
+def test_event_format_is_single_line():
+    e = TraceEvent(12, RETIRE, 1, 0x4000, "syscall:read", "LOAD")
+    assert "\n" not in e.format()
+
+
+def test_tracer_wired_into_simulation():
+    sim = Simulation(SpecIntWorkload(), seed=55)
+    tracer = TraceRecorder(capacity=5000)
+    sim.processor.tracer = tracer
+    sim.run(max_instructions=3_000)
+    kinds = {e.kind for e in tracer.events}
+    assert FETCH in kinds and RETIRE in kinds
+    assert tracer.recorded > 3_000  # fetch + retire at minimum

@@ -1,0 +1,101 @@
+"""Tests for workload construction and behavior scripts."""
+
+import random
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.os_model.kernel import MiniDUX
+from repro.workloads.apache import MMAP_THRESHOLD, ApacheWorkload
+from repro.workloads.specint import SPECINT_PROGRAMS, SpecIntWorkload
+
+
+@pytest.fixture
+def osk():
+    return MiniDUX(MemoryHierarchy(), n_contexts=4, rng=random.Random(6))
+
+
+def test_specint_has_eight_programs():
+    assert len(SPECINT_PROGRAMS) == 8
+    names = {p.name for p in SPECINT_PROGRAMS}
+    assert names == {"gcc", "go", "li", "perl", "compress", "m88ksim",
+                     "ijpeg", "vortex"}
+
+
+def test_specint_profiles_are_valid_mixes():
+    for p in SPECINT_PROGRAMS:
+        total = p.load + p.store + p.branch + p.fp
+        assert total < 1.0
+        assert p.heap_hot_pages <= p.heap_pages
+        assert p.hot_blocks <= p.n_blocks
+
+
+def test_specint_setup_creates_processes(osk):
+    wl = SpecIntWorkload()
+    wl.setup(osk, osk.hierarchy, random.Random(7))
+    assert len(wl.threads) == 8
+    names = {t.name for t in wl.threads}
+    assert "gcc" in names
+    # Every thread is schedulable and owns a distinct address space.
+    pids = {t.process.pid for t in wl.threads}
+    assert len(pids) == 8
+
+
+def test_specint_not_warm_until_marks(osk):
+    wl = SpecIntWorkload()
+    wl.setup(osk, osk.hierarchy, random.Random(7))
+    assert not wl.warmed_up(osk)
+    for p in SPECINT_PROGRAMS:
+        osk.thread_phase[p.name] = "steady"
+    assert wl.warmed_up(osk)
+
+
+def test_specint_behavior_phases(osk):
+    wl = SpecIntWorkload()
+    wl.setup(osk, osk.hierarchy, random.Random(7))
+    thread = wl.threads[0]
+    directives = [next(thread.behavior) for _ in range(6)]
+    kinds = [d[0] for d in directives]
+    assert kinds[0] == "mark"
+    assert "syscall" in kinds
+
+
+def test_apache_setup_creates_everything(osk):
+    wl = ApacheWorkload(n_servers=6, n_clients=8, n_netisr=2)
+    wl.setup(osk, osk.hierarchy, random.Random(8))
+    assert len(wl.threads) == 6
+    assert len(wl.stack.netisr_threads) == 2
+    assert wl.clients.n_clients == 8
+    assert len(wl.fileset.files) == 36
+    # Server processes share one text segment.
+    models = {t.user_walker.model for t in wl.threads}
+    assert len(models) == 1
+
+
+def test_apache_not_warm_until_responses(osk):
+    wl = ApacheWorkload(n_servers=2, n_clients=2)
+    wl.setup(osk, osk.hierarchy, random.Random(8))
+    assert not wl.warmed_up(osk)
+    wl.clients.responses_completed = wl.warmup_responses
+    assert wl.warmed_up(osk)
+
+
+def test_apache_mmap_threshold_splits_fileset(osk):
+    wl = ApacheWorkload(n_servers=1)
+    wl.setup(osk, osk.hierarchy, random.Random(8))
+    sizes = [f.size for f in wl.fileset.files]
+    assert any(s >= MMAP_THRESHOLD for s in sizes)
+    assert any(s < MMAP_THRESHOLD for s in sizes)
+
+
+def test_apache_server_behavior_requests_flow(osk):
+    wl = ApacheWorkload(n_servers=1, n_clients=1)
+    wl.setup(osk, osk.hierarchy, random.Random(8))
+    thread = wl.threads[0]
+    # First directive (possibly after a select) must be the accept.
+    d = next(thread.behavior)
+    while d[0] == "syscall" and d[1] == "select":
+        d = next(thread.behavior)
+    assert d[0] == "syscall" and d[1] == "accept"
+    # Blocked accept: the block predicate is true with no pending conns.
+    assert d[2]["block_if"]()
