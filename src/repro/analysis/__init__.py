@@ -1,21 +1,35 @@
 """Measurement and reporting layer.
 
 The paper extracts every table and figure from a handful of long
-simulations.  This package does the same: :mod:`repro.analysis.experiments`
-memoizes eight canonical runs (SPECInt/Apache x SMT/superscalar x
-full-OS/app-only), captures counter snapshots at workload phase boundaries,
-and the table/figure modules compute the paper's exact rows from windowed
-counter differences.
+simulations.  This package does the same, as three explicit layers:
+
+* **artifact** -- :class:`~repro.analysis.artifact.RunArtifact`, the
+  versioned plain-data record of one finished run (config fingerprint,
+  counter windows, timeline, phase marks);
+* **store** -- :class:`~repro.analysis.store.RunStore`, a content-addressed
+  on-disk cache (default ``.repro_cache/``) that persists the eight
+  canonical runs across processes and invalidates on any config, schema,
+  or code-version change;
+* **runner** -- a process-pool executor that warms the store concurrently
+  (``repro prefetch``) and parallelizes sweep points.
+
+:mod:`repro.analysis.experiments` resolves runs through memo -> store ->
+execute; the table/figure modules compute the paper's exact rows from an
+artifact's windowed counters.
 """
 
+from repro.analysis.artifact import RunArtifact
+from repro.analysis.experiments import RunRecord, clear_cache, get_run
 from repro.analysis.snapshot import capture, diff
-from repro.analysis.experiments import RunRecord, get_run, clear_cache
-from repro.analysis import export, figures, metrics, paper, report, sweeps, tables
+from repro.analysis.store import RunStore
+from repro.analysis import export, figures, metrics, paper, report, runner, sweeps, tables
 
 __all__ = [
     "capture",
     "diff",
+    "RunArtifact",
     "RunRecord",
+    "RunStore",
     "get_run",
     "clear_cache",
     "export",
@@ -23,6 +37,7 @@ __all__ = [
     "metrics",
     "paper",
     "report",
+    "runner",
     "sweeps",
     "tables",
 ]

@@ -1,0 +1,173 @@
+"""Serializable run artifacts (layer 1 of the run engine).
+
+A :class:`RunArtifact` is the plain-data record of one finished canonical
+run: the full configuration fingerprint of the simulation that produced it,
+the three counter windows (*startup*, *steady*, *total*) from
+:mod:`repro.analysis.snapshot`, the mode-class timeline, and the workload
+phase marks.  It carries everything the table/figure/metric builders
+consume and nothing else -- no live handles to the machine -- so it can be
+serialized to JSON, stored on disk (:mod:`repro.analysis.store`), produced
+in a worker process (:mod:`repro.analysis.runner`), and compared for
+equality across process boundaries.
+
+The identity of an artifact is its *fingerprint*: a SHA-256 over the
+schema version, a code-version tag, and the canonical JSON of the run
+spec (workload, cpu, os_mode, instruction budget, seed, and every
+simulator knob including the machine geometry).  Bumping
+``SCHEMA_VERSION`` or ``CODE_VERSION`` therefore invalidates every stored
+artifact, and two runs whose configurations differ in *any* knob can
+never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+#: Version of the artifact data layout.  Bump when the window/timeline/
+#: marks structure changes; old stored artifacts then miss and re-run.
+SCHEMA_VERSION = 1
+
+#: Coarse code-version tag folded into every fingerprint.  Bump when the
+#: *simulator's* behavior changes (new counters, different scheduling,
+#: recalibrated workloads) so stale artifacts are not mistaken for current
+#: measurements.
+CODE_VERSION = "2026.08"
+
+
+class ArtifactError(ValueError):
+    """Raised when a payload does not parse as a current-schema artifact."""
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_fingerprint(spec: dict) -> str:
+    """Content hash identifying a run: schema + code version + full spec."""
+    payload = {"schema": SCHEMA_VERSION, "code": CODE_VERSION, "spec": spec}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def _plain(value):
+    """Recursively normalize to JSON-native types (tuples become lists,
+    dict keys become strings) so round-tripped artifacts compare equal."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+@dataclass
+class RunArtifact:
+    """One finished run as plain data.
+
+    ``spec`` is the full run specification (labels plus the simulator's
+    config fingerprint params); ``startup``/``steady``/``total`` are the
+    counter windows; ``timeline`` is the mode-class time series behind
+    Figures 1/5; ``marks`` is a list of ``[thread, label, cycle]`` phase
+    marks.
+    """
+
+    spec: dict
+    n_contexts: int
+    cycles: int
+    timeline: list
+    marks: list
+    startup: dict
+    steady: dict
+    total: dict
+    schema_version: int = SCHEMA_VERSION
+    fingerprint: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.spec = _plain(self.spec)
+        self.timeline = _plain(self.timeline)
+        self.marks = _plain(self.marks)
+        self.startup = _plain(self.startup)
+        self.steady = _plain(self.steady)
+        self.total = _plain(self.total)
+        if not self.fingerprint:
+            self.fingerprint = run_fingerprint(self.spec)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """The store key (alias for the fingerprint)."""
+        return self.fingerprint
+
+    @property
+    def label(self) -> str:
+        """Human-readable run label, e.g. ``apache-smt-full``."""
+        parts = [str(self.spec.get(k)) for k in ("workload", "cpu", "os_mode")
+                 if self.spec.get(k) is not None]
+        return "-".join(parts) or "run"
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def steady_boundary(self) -> int | None:
+        """Cycle at which the last workload thread reached steady state."""
+        cycles = [cycle for _, label, cycle in self.marks if label == "steady"]
+        return max(cycles) if cycles else None
+
+    def window(self, phase: str) -> dict:
+        """Fetch one counter window by name: startup / steady / total."""
+        if phase not in ("startup", "steady", "total"):
+            raise ValueError(f"unknown window {phase!r}")
+        return getattr(self, phase)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec,
+            "n_contexts": self.n_contexts,
+            "cycles": self.cycles,
+            "timeline": self.timeline,
+            "marks": self.marks,
+            "startup": self.startup,
+            "steady": self.steady,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RunArtifact":
+        if not isinstance(payload, dict):
+            raise ArtifactError("artifact payload is not an object")
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ArtifactError(
+                f"artifact schema {version!r} != current {SCHEMA_VERSION}")
+        try:
+            return cls(
+                spec=payload["spec"],
+                n_contexts=payload["n_contexts"],
+                cycles=payload["cycles"],
+                timeline=payload["timeline"],
+                marks=payload["marks"],
+                startup=payload["startup"],
+                steady=payload["steady"],
+                total=payload["total"],
+                schema_version=version,
+                fingerprint=payload["fingerprint"],
+            )
+        except KeyError as exc:  # missing field -> not a valid artifact
+            raise ArtifactError(f"artifact payload missing {exc}") from exc
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "RunArtifact":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"artifact is not valid JSON: {exc}") from exc
+        return cls.from_json_dict(payload)

@@ -9,12 +9,22 @@ specint    smt / ss     full  (OS executed)
 specint    smt / ss     app   (app-only simulator: instant traps)
 apache     smt / ss     full
 apache     smt / ss     omit  (OS refs omitted from hardware
-                               structures -- Table 9's mode)
+                              structures -- Table 9's mode)
 =========  ===========  =========================================
 
-Runs are memoized per (workload, cpu, os_mode, instructions, seed).  Each
-record carries three counter windows: *startup* (boot to workload warm-up),
-*steady* (warm-up to end), and *total*.
+:func:`get_run` resolves a run through three layers:
+
+1. an in-process memo (object identity within one process),
+2. the content-addressed on-disk :class:`~repro.analysis.store.RunStore`
+   (persistence across processes; see ``repro prefetch`` / ``repro cache``),
+3. actual execution, after which the artifact is written back to the store.
+
+The store key is the artifact fingerprint: schema version, code version,
+and the *full* simulation config (workload, machine geometry, os mode,
+instruction budget, seed, and every simulator knob), so non-default
+simulations can never collide with canonical ones.  Each artifact carries
+three counter windows: *startup* (boot to workload warm-up), *steady*
+(warm-up to end), and *total*.
 
 Set the ``REPRO_BUDGET_MULT`` environment variable to scale every
 instruction budget (e.g. ``0.25`` for a quick smoke pass, ``4`` for a long
@@ -24,14 +34,20 @@ calibration run).
 from __future__ import annotations
 
 import os as _os
-from dataclasses import dataclass
+import warnings
 
+from repro.analysis.artifact import RunArtifact, run_fingerprint
 from repro.analysis.snapshot import capture, diff
+from repro.analysis.store import RunStore
 from repro.core.config import MachineConfig
-from repro.core.simulator import SimResult, Simulation
+from repro.core.simulator import Simulation, sim_params
 from repro.os_model.kernel import OSMode
 from repro.workloads.apache import ApacheWorkload
 from repro.workloads.specint import SpecIntWorkload
+
+#: Backwards-compatible alias: analysis code that used to receive a
+#: ``RunRecord`` (live handles) now receives a plain-data artifact.
+RunRecord = RunArtifact
 
 #: Default retired-instruction budgets per (workload, cpu).  Scaled runs;
 #: the paper simulated 0.65-1G+ instructions, and -- like us -- ran its
@@ -50,22 +66,10 @@ STARTUP_BUDGET_CAP = 0.75
 
 _WARMUP_CHUNK = 25_000
 
-_CACHE: dict[tuple, "RunRecord"] = {}
+#: In-process memo: fingerprint -> artifact (layer above the disk store).
+_MEMO: dict[str, RunArtifact] = {}
 
-
-@dataclass
-class RunRecord:
-    """One finished canonical run plus its counter windows."""
-
-    key: tuple
-    result: SimResult
-    startup: dict
-    steady: dict
-    total: dict
-
-    @property
-    def n_contexts(self) -> int:
-        return self.result.machine.cpu.n_contexts
+_WARNED_BUDGET_VALUES: set[str] = set()
 
 
 def _budget_multiplier() -> float:
@@ -73,18 +77,80 @@ def _budget_multiplier() -> float:
     try:
         mult = float(raw)
     except ValueError:
+        _warn_bad_budget(raw)
         return 1.0
-    return mult if mult > 0 else 1.0
+    if mult <= 0:
+        _warn_bad_budget(raw)
+        return 1.0
+    return mult
+
+
+def _warn_bad_budget(raw: str) -> None:
+    """Warn (once per distinct value) instead of silently using 1.0."""
+    if raw in _WARNED_BUDGET_VALUES:
+        return
+    _WARNED_BUDGET_VALUES.add(raw)
+    warnings.warn(
+        f"ignoring invalid REPRO_BUDGET_MULT={raw!r} "
+        "(expected a positive number); using 1.0",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def canonical_machine(cpu: str) -> MachineConfig:
+    """The machine configuration behind a canonical cpu label."""
+    if cpu == "smt":
+        return MachineConfig.smt()
+    if cpu == "ss":
+        return MachineConfig.superscalar()
+    raise ValueError(f"unknown cpu {cpu!r} (want 'smt' or 'ss')")
+
+
+def resolve_instructions(workload: str, cpu: str,
+                         instructions: int | None = None) -> int:
+    """The effective instruction budget for one canonical run."""
+    if instructions is not None:
+        return instructions
+    return int(DEFAULT_INSTRUCTIONS[(workload, cpu)] * _budget_multiplier())
+
+
+def run_spec(
+    workload: str,
+    cpu: str,
+    os_mode: str = "full",
+    instructions: int | None = None,
+    seed: int = 11,
+) -> dict:
+    """The full specification -- labels plus config fingerprint params --
+    of one canonical run.  ``run_fingerprint(run_spec(...))`` is its store
+    key; no simulation is constructed."""
+    machine = canonical_machine(cpu)
+    if workload not in ("specint", "apache"):
+        raise ValueError(f"unknown workload {workload!r}")
+    if os_mode not in ("full", "app", "omit"):
+        raise ValueError(f"unknown os_mode {os_mode!r}")
+    instructions = resolve_instructions(workload, cpu, instructions)
+    params = sim_params(
+        workload,
+        machine,
+        os_mode=OSMode.APP_ONLY if os_mode == "app" else OSMode.FULL,
+        seed=seed,
+        omit_kernel_refs=(os_mode == "omit"),
+    )
+    return {
+        "workload": workload,
+        "cpu": cpu,
+        "os_mode": os_mode,
+        "instructions": instructions,
+        "seed": seed,
+        "params": params,
+    }
 
 
 def build_simulation(workload: str, cpu: str, os_mode: str, seed: int = 11) -> Simulation:
     """Assemble (but do not run) one canonical simulation."""
-    if cpu == "smt":
-        machine = MachineConfig.smt()
-    elif cpu == "ss":
-        machine = MachineConfig.superscalar()
-    else:
-        raise ValueError(f"unknown cpu {cpu!r} (want 'smt' or 'ss')")
+    machine = canonical_machine(cpu)
     if workload == "specint":
         wl = SpecIntWorkload()
     elif workload == "apache":
@@ -114,37 +180,67 @@ def run_windowed(sim: Simulation, budget: int) -> tuple[dict, dict, dict]:
     return diff(mid, boot), diff(end, mid), diff(end, boot)
 
 
+def execute_spec(spec: dict) -> RunArtifact:
+    """Execute one run spec and freeze it into an artifact (no caching).
+
+    This is the unit of work the parallel runner ships to worker
+    processes; :func:`get_run` calls it on a cache miss.
+    """
+    sim = build_simulation(spec["workload"], spec["cpu"], spec["os_mode"],
+                           seed=spec["seed"])
+    startup, steady, total = run_windowed(sim, spec["instructions"])
+    artifact = sim.to_artifact(
+        startup, steady, total,
+        spec_extra={k: spec[k] for k in
+                    ("workload", "cpu", "os_mode", "instructions", "seed")},
+    )
+    if artifact.fingerprint != run_fingerprint(spec):  # pragma: no cover
+        raise RuntimeError(
+            "config fingerprint drift: Simulation.params disagrees with "
+            "run_spec() for the same arguments")
+    return artifact
+
+
+def cached_artifact(fingerprint: str, store: RunStore | None = None) -> RunArtifact | None:
+    """Look a fingerprint up in the memo, then the store (filling the
+    memo on a store hit).  Returns None on a full miss."""
+    artifact = _MEMO.get(fingerprint)
+    if artifact is not None:
+        return artifact
+    store = store or RunStore()
+    artifact = store.get(fingerprint)
+    if artifact is not None:
+        _MEMO[fingerprint] = artifact
+    return artifact
+
+
+def register_artifact(artifact: RunArtifact) -> None:
+    """Install an artifact (e.g. computed by a worker) into the memo."""
+    _MEMO[artifact.fingerprint] = artifact
+
+
 def get_run(
     workload: str,
     cpu: str,
     os_mode: str = "full",
     instructions: int | None = None,
     seed: int = 11,
-) -> RunRecord:
-    """Fetch (running and memoizing if necessary) a canonical run."""
-    if instructions is None:
-        instructions = int(DEFAULT_INSTRUCTIONS[(workload, cpu)] * _budget_multiplier())
-    key = (workload, cpu, os_mode, instructions, seed)
-    record = _CACHE.get(key)
-    if record is not None:
-        return record
-    sim = build_simulation(workload, cpu, os_mode, seed=seed)
-    startup, steady, total = run_windowed(sim, instructions)
-    result = SimResult(
-        machine=sim.machine,
-        stats=sim.stats,
-        hierarchy=sim.hierarchy,
-        os=sim.os,
-        processor=sim.processor,
-        workload=sim.workload,
-        os_mode=sim.os_mode,
-        cycles=sim.stats.cycles,
-    )
-    record = RunRecord(key, result, startup, steady, total)
-    _CACHE[key] = record
-    return record
+) -> RunArtifact:
+    """Fetch a canonical run artifact: memo, then store, then execute."""
+    spec = run_spec(workload, cpu, os_mode, instructions, seed)
+    fingerprint = run_fingerprint(spec)
+    artifact = cached_artifact(fingerprint)
+    if artifact is None:
+        artifact = execute_spec(spec)
+        RunStore().put(artifact)
+        _MEMO[fingerprint] = artifact
+    return artifact
 
 
 def clear_cache() -> None:
-    """Drop all memoized runs (tests use this for isolation)."""
-    _CACHE.clear()
+    """Drop the in-process memo (tests use this for isolation).
+
+    The on-disk store is unaffected; clear it with ``repro cache clear``
+    or :meth:`repro.analysis.store.RunStore.clear`.
+    """
+    _MEMO.clear()

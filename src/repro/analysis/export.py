@@ -21,7 +21,7 @@ import json
 import pathlib
 
 from repro.analysis import metrics as M
-from repro.analysis.experiments import RunRecord
+from repro.analysis.artifact import RunArtifact
 from repro.core.stats import CLASS_NAMES
 
 
@@ -68,11 +68,12 @@ def window_to_json(window: dict, path, n_contexts: int = 8) -> pathlib.Path:
     return path
 
 
-def record_to_json(record: RunRecord, path) -> pathlib.Path:
-    """Write a run record's start-up/steady/total summaries as JSON."""
+def record_to_json(record: RunArtifact, path) -> pathlib.Path:
+    """Write a run artifact's start-up/steady/total summaries as JSON."""
     n = record.n_contexts
     payload = {
-        "key": list(record.key),
+        "spec": record.spec,
+        "fingerprint": record.fingerprint,
         "startup": summarize_window(record.startup, n),
         "steady": summarize_window(record.steady, n),
         "total": summarize_window(record.total, n),
@@ -82,13 +83,13 @@ def record_to_json(record: RunRecord, path) -> pathlib.Path:
     return path
 
 
-def timeline_to_csv(record: RunRecord, path) -> pathlib.Path:
+def timeline_to_csv(record: RunArtifact, path) -> pathlib.Path:
     """Write the run's mode-class timeline (Figures 1/5 data) as CSV."""
     path = pathlib.Path(path)
     with path.open("w", newline="") as f:
         writer = csv.writer(f)
         writer.writerow(["cycle"] + list(CLASS_NAMES))
-        for cycle, shares in record.result.stats.timeline:
+        for cycle, shares in record.timeline:
             writer.writerow([cycle] + [f"{s:.6f}" for s in shares])
     return path
 

@@ -1,28 +1,24 @@
-"""Builders for the paper's Figures 1-7 (text renderings + data)."""
+"""Builders for the paper's Figures 1-7 (text renderings + data).
+
+Each builder takes the plain-data :class:`~repro.analysis.artifact.RunArtifact`
+objects it needs -- timelines, phase marks, and counter windows all travel
+inside the artifact, so a stored run renders identically to a live one.
+"""
 
 from __future__ import annotations
 
 from repro.analysis import metrics as M
-from repro.analysis.experiments import RunRecord
+from repro.analysis.artifact import RunArtifact
 from repro.analysis.render import format_bars, format_timeline
 from repro.core.stats import CLASS_NAMES
 
 
-def _steady_boundary(rec: RunRecord) -> int | None:
-    """Cycle at which the last workload thread reached steady state."""
-    marks = [cycle for (_, label), cycle in rec.result.os.marks.items()
-             if label == "steady"]
-    return max(marks) if marks else None
-
-
-def fig1(specint_smt: RunRecord) -> dict:
+def fig1(specint_smt: RunArtifact) -> dict:
     """SPECInt execution-cycle breakdown over time (Figure 1)."""
-    samples = specint_smt.result.stats.timeline
-    boundary = _steady_boundary(specint_smt)
-    startup_kernel = 1.0 - M.class_shares(specint_smt.startup)["user"] \
-        - M.class_shares(specint_smt.startup)["idle"]
-    steady_kernel = 1.0 - M.class_shares(specint_smt.steady)["user"] \
-        - M.class_shares(specint_smt.steady)["idle"]
+    samples = specint_smt.timeline
+    boundary = specint_smt.steady_boundary
+    startup_kernel = M.os_cycle_share(specint_smt.startup)
+    steady_kernel = M.os_cycle_share(specint_smt.steady)
     data = {
         "samples": samples,
         "boundary": boundary,
@@ -39,7 +35,7 @@ def fig1(specint_smt: RunRecord) -> dict:
     return {"title": "Figure 1", "data": data, "text": text}
 
 
-def fig2(specint_smt: RunRecord) -> dict:
+def fig2(specint_smt: RunArtifact) -> dict:
     """Kernel-time breakdown for SPECInt, start-up vs steady (Figure 2)."""
     startup = M.kernel_category_shares(specint_smt.startup)
     steady = M.kernel_category_shares(specint_smt.steady)
@@ -58,7 +54,7 @@ def fig2(specint_smt: RunRecord) -> dict:
     return {"title": "Figure 2", "data": {"startup": startup, "steady": steady}, "text": text}
 
 
-def fig3(specint_smt: RunRecord) -> dict:
+def fig3(specint_smt: RunArtifact) -> dict:
     """Incursions into kernel memory-management code (Figure 3)."""
     def counts(window):
         inc = window["vm_incursions"]
@@ -82,7 +78,7 @@ def fig3(specint_smt: RunRecord) -> dict:
     }
 
 
-def fig4(specint_smt: RunRecord) -> dict:
+def fig4(specint_smt: RunArtifact) -> dict:
     """System calls as a percentage of execution cycles (Figure 4)."""
     startup = M.syscall_cycle_shares(specint_smt.startup)
     steady = M.syscall_cycle_shares(specint_smt.steady)
@@ -99,9 +95,9 @@ def fig4(specint_smt: RunRecord) -> dict:
     return {"title": "Figure 4", "data": {"startup": startup, "steady": steady}, "text": text}
 
 
-def fig5(apache_smt: RunRecord) -> dict:
+def fig5(apache_smt: RunArtifact) -> dict:
     """Apache kernel/user cycles over time (Figure 5)."""
-    samples = apache_smt.result.stats.timeline
+    samples = apache_smt.timeline
     shares = M.class_shares(apache_smt.steady)
     kernel_share = shares["kernel"] + shares["pal"]
     text = format_timeline(
@@ -117,7 +113,7 @@ def fig5(apache_smt: RunRecord) -> dict:
     }
 
 
-def fig6(apache_smt: RunRecord, specint_smt: RunRecord) -> dict:
+def fig6(apache_smt: RunArtifact, specint_smt: RunArtifact) -> dict:
     """Apache kernel-activity breakdown vs SPECInt (Figure 6)."""
     apache = M.kernel_category_shares(apache_smt.steady)
     spec_start = M.kernel_category_shares(specint_smt.startup)
@@ -153,7 +149,7 @@ def fig6(apache_smt: RunRecord, specint_smt: RunRecord) -> dict:
     }
 
 
-def fig7(apache_smt: RunRecord) -> dict:
+def fig7(apache_smt: RunArtifact) -> dict:
     """Apache system calls by name and by resource category (Figure 7)."""
     by_name = M.syscall_cycle_shares(apache_smt.steady)
     by_cat = M.syscall_category_shares(apache_smt.steady)

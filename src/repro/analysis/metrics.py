@@ -3,6 +3,9 @@
 All functions take a *window* -- the dict produced by
 :func:`repro.analysis.snapshot.diff` (or a full capture, which is the
 window from machine boot) -- and return the quantities the paper reports.
+Windows are plain data, so these metrics apply equally to a live capture
+and to the ``startup``/``steady``/``total`` windows of a stored
+:class:`~repro.analysis.artifact.RunArtifact`.
 """
 
 from __future__ import annotations
@@ -136,6 +139,13 @@ def class_shares(window: dict) -> dict[str, float]:
     if not total:
         return {n: 0.0 for n in names}
     return {n: window["class_cycles"][i] / total for i, n in enumerate(names)}
+
+
+def os_cycle_share(window: dict) -> float:
+    """The OS (kernel + PAL) share of context-cycles -- the quantity behind
+    Figures 1 and 5 and the paper's '% of cycles in the OS' claims."""
+    shares = class_shares(window)
+    return shares["kernel"] + shares["pal"]
 
 
 def service_shares(window: dict) -> dict[str, float]:

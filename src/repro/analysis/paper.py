@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis import metrics as M
-from repro.analysis.experiments import RunRecord
+from repro.analysis.artifact import RunArtifact
 
 #: Reference values transcribed from the paper.
 PAPER = {
@@ -80,7 +80,7 @@ def _row(exhibit: str, quantity: str, paper: float, measured: float,
                          bool(predicate()))
 
 
-def build_comparison(records: dict[str, RunRecord]) -> list[ComparisonRow]:
+def build_comparison(records: dict[str, RunArtifact]) -> list[ComparisonRow]:
     """Evaluate every tracked quantity over the canonical *records*.
 
     ``records`` maps run labels to records; the required labels are
@@ -97,12 +97,8 @@ def build_comparison(records: dict[str, RunRecord]) -> list[ComparisonRow]:
     apache_ss = records["apache-ss-full"]
     apache_omit = records["apache-smt-omit"]
 
-    def os_share(window):
-        shares = M.class_shares(window)
-        return shares["kernel"] + shares["pal"]
-
-    startup_os = os_share(spec.startup)
-    steady_os = os_share(spec.steady)
+    startup_os = M.os_cycle_share(spec.startup)
+    steady_os = M.os_cycle_share(spec.steady)
     rows.append(_row("Fig 1", "SPECInt start-up OS share",
                      PAPER["specint_startup_os_share"], startup_os,
                      "start-up >> steady and both in band",
@@ -140,7 +136,7 @@ def build_comparison(records: dict[str, RunRecord]) -> list[ComparisonRow]:
                      PAPER["smt_spec_os_mispredict_pct"], mis,
                      "single-digit regime", lambda: 3.0 <= mis <= 15.0))
 
-    apache_os = os_share(apache.steady)
+    apache_os = M.os_cycle_share(apache.steady)
     rows.append(_row("Fig 5", "Apache OS share", PAPER["apache_os_share"],
                      apache_os, "> 0.6", lambda: apache_os > 0.6))
 

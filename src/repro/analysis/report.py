@@ -49,8 +49,18 @@ class Report:
         return path
 
 
-def build_report(include_comparison: bool = True) -> Report:
-    """Run (or reuse) the canonical simulations and build every exhibit."""
+def build_report(include_comparison: bool = True,
+                 max_workers: int | None = None) -> Report:
+    """Run (or reuse) the canonical simulations and build every exhibit.
+
+    ``max_workers`` > 1 warms the run store concurrently (one process per
+    worker) before the exhibits are built; the default resolves each run
+    serially through memo -> store -> execute.
+    """
+    if max_workers is not None and max_workers > 1:
+        from repro.analysis.runner import prefetch_all
+
+        prefetch_all(max_workers=max_workers)
     spec = get_run("specint", "smt", "full")
     spec_app = get_run("specint", "smt", "app")
     spec_ss = get_run("specint", "ss", "full")

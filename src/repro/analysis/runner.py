@@ -1,0 +1,171 @@
+"""Parallel experiment runner (layer 3 of the run engine).
+
+The eight canonical runs -- and the points of a parameter sweep -- are
+independent simulations, so a cold cache can be warmed with one process
+per core instead of serially.  :func:`prefetch_all` / :func:`run_many`
+execute missing runs in a :class:`~concurrent.futures.ProcessPoolExecutor`;
+each worker writes its finished artifact to the shared on-disk store, so a
+crash mid-prefetch loses at most the in-flight runs.  When a process pool
+cannot be created (restricted sandboxes, ``fork`` unavailable) execution
+falls back to serial in-process runs with identical results: artifacts are
+deterministic functions of their spec, so the executor never changes what
+is computed, only when and where.
+
+``repro prefetch`` and the benchmark session fixture are the main entry
+points; ``repro cache ls`` shows what has been warmed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+from repro.analysis import experiments
+from repro.analysis.artifact import RunArtifact, run_fingerprint
+from repro.analysis.snapshot import capture
+from repro.analysis.store import RunStore
+
+#: The eight canonical (workload, cpu, os_mode) combinations behind the
+#: paper's Tables 2-9 and Figures 1-7.
+CANONICAL_SPECS: tuple[tuple[str, str, str], ...] = (
+    ("specint", "smt", "full"),
+    ("specint", "smt", "app"),
+    ("specint", "ss", "full"),
+    ("specint", "ss", "app"),
+    ("apache", "smt", "full"),
+    ("apache", "smt", "omit"),
+    ("apache", "ss", "full"),
+    ("apache", "ss", "omit"),
+)
+
+
+def default_workers() -> int:
+    """Pool size: one worker per core, capped at the canonical run count."""
+    return max(1, min(len(CANONICAL_SPECS), os.cpu_count() or 1))
+
+
+def _worker_run(spec: dict, store_root: str) -> dict:
+    """Execute one run spec in a worker process; returns the artifact as a
+    JSON dict (plain data crosses the process boundary, never handles)."""
+    artifact = experiments.execute_spec(spec)
+    RunStore(store_root).put(artifact)
+    return artifact.to_json_dict()
+
+
+def _run_specs(specs: list[dict], max_workers: int,
+               store: RunStore) -> list[RunArtifact]:
+    """Execute specs, in parallel when possible, preserving order."""
+    if max_workers > 1 and len(specs) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(_worker_run, spec, str(store.root))
+                           for spec in specs]
+                return [RunArtifact.from_json_dict(f.result())
+                        for f in futures]
+        except (OSError, PermissionError, NotImplementedError, BrokenExecutor):
+            # No usable process pool here (sandbox, missing semaphores,
+            # killed workers): fall through to the serial path.
+            pass
+    out = []
+    for spec in specs:
+        artifact = experiments.execute_spec(spec)
+        store.put(artifact)
+        out.append(artifact)
+    return out
+
+
+def run_many(
+    specs=None,
+    max_workers: int | None = None,
+    force: bool = False,
+    store: RunStore | None = None,
+) -> dict[str, RunArtifact]:
+    """Resolve many canonical runs at once, executing misses concurrently.
+
+    ``specs`` is an iterable of ``(workload, cpu, os_mode)`` triples
+    (default: all eight canonical runs).  Returns a dict keyed by the
+    ``workload-cpu-os_mode`` label.  Already-stored runs are loaded, not
+    re-run, unless ``force`` is set.
+    """
+    triples = list(specs) if specs is not None else list(CANONICAL_SPECS)
+    store = store or RunStore()
+    resolved = [experiments.run_spec(wl, cpu, mode) for wl, cpu, mode in triples]
+    results: dict[str, RunArtifact] = {}
+    todo: list[dict] = []
+    for spec in resolved:
+        label = f"{spec['workload']}-{spec['cpu']}-{spec['os_mode']}"
+        artifact = None if force else experiments.cached_artifact(
+            run_fingerprint(spec), store)
+        if artifact is not None:
+            results[label] = artifact
+        else:
+            todo.append(spec)
+    if todo:
+        workers = max_workers if max_workers is not None else default_workers()
+        for spec, artifact in zip(todo, _run_specs(todo, workers, store)):
+            experiments.register_artifact(artifact)
+            results[f"{spec['workload']}-{spec['cpu']}-{spec['os_mode']}"] = artifact
+    return results
+
+
+def prefetch_all(
+    max_workers: int | None = None,
+    force: bool = False,
+    store: RunStore | None = None,
+) -> dict[str, RunArtifact]:
+    """Warm the store with all eight canonical runs (the ``repro
+    prefetch`` entry point)."""
+    return run_many(CANONICAL_SPECS, max_workers=max_workers, force=force,
+                    store=store)
+
+
+def prefetch_timed(max_workers: int | None = None, force: bool = False):
+    """Prefetch and report (artifacts, wall_seconds) for CLI output."""
+    start = time.perf_counter()
+    artifacts = prefetch_all(max_workers=max_workers, force=force)
+    return artifacts, time.perf_counter() - start
+
+
+# -- parallel sweeps -------------------------------------------------------
+
+
+def _sweep_worker(kind: str, workload: str, value, instructions: int,
+                  seed: int) -> dict[str, float]:
+    """Run one sweep point in a worker process; returns plain metrics."""
+    from repro.analysis import sweeps
+
+    sim = sweeps.SWEEP_BUILDERS[kind](workload, value, seed)
+    sim.run(max_instructions=instructions)
+    window = capture(sim)
+    return {name: fn(window) for name, fn in sweeps.DEFAULT_METRICS.items()}
+
+
+def run_sweep_points(
+    kind: str,
+    workload: str,
+    values,
+    instructions: int,
+    seed: int,
+    max_workers: int | None = None,
+) -> list[tuple[object, dict[str, float]]]:
+    """Evaluate the named sweep's points concurrently (serial fallback).
+
+    ``kind`` names an entry of :data:`repro.analysis.sweeps.SWEEP_BUILDERS`;
+    point order is preserved.
+    """
+    values = list(values)
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers > 1 and len(values) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_sweep_worker, kind, workload, value,
+                                instructions, seed)
+                    for value in values
+                ]
+                return [(v, f.result()) for v, f in zip(values, futures)]
+        except (OSError, PermissionError, NotImplementedError, BrokenExecutor):
+            pass
+    return [(v, _sweep_worker(kind, workload, v, instructions, seed))
+            for v in values]

@@ -1,0 +1,135 @@
+"""Content-addressed on-disk run store (layer 2 of the run engine).
+
+A :class:`RunStore` persists :class:`~repro.analysis.artifact.RunArtifact`
+objects as JSON files named by their content fingerprint, so canonical
+runs survive across processes: the first ``repro report``, pytest session,
+or benchmark pass pays the simulation cost and every later one loads the
+stored artifact instead.  Invalidation is automatic -- the fingerprint
+covers the artifact schema version, a code-version tag, and the full
+simulation config -- so changing any knob, the counter layout, or the
+simulator itself simply produces a different key and a cache miss.
+
+The store root defaults to ``.repro_cache/`` in the current directory and
+can be redirected with the ``REPRO_CACHE_DIR`` environment variable
+(tests point it at a temporary directory).  Files are written atomically
+(temp file + rename), and unreadable or schema-stale entries are treated
+as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from dataclasses import dataclass
+
+from repro.analysis.artifact import ArtifactError, RunArtifact
+
+#: Default store directory, relative to the working directory.
+DEFAULT_STORE_DIR = ".repro_cache"
+
+#: Environment variable overriding the store location.
+STORE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Hex digits of the fingerprint embedded in each filename.
+_NAME_HASH_LEN = 20
+
+
+def store_root() -> pathlib.Path:
+    """The configured store directory (env override or the default)."""
+    return pathlib.Path(os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR)
+
+
+def _slug(spec: dict) -> str:
+    """Readable filename prefix: labels if present, else just 'run'."""
+    parts = []
+    for key in ("workload", "cpu", "os_mode", "seed", "instructions"):
+        value = spec.get(key)
+        if value is not None:
+            parts.append(str(value))
+    text = "-".join(parts) or "run"
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored artifact, as listed by ``repro cache ls``."""
+
+    path: pathlib.Path
+    fingerprint: str
+    label: str
+    size: int
+
+
+class RunStore:
+    """Content-addressed artifact store rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else store_root()
+
+    def _path_for(self, artifact: RunArtifact) -> pathlib.Path:
+        name = f"{_slug(artifact.spec)}-{artifact.fingerprint[:_NAME_HASH_LEN]}.json"
+        return self.root / name
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> RunArtifact | None:
+        """Load the artifact with this fingerprint, or None on any miss
+        (absent, unparsable, stale schema, or hash mismatch)."""
+        if not self.root.is_dir():
+            return None
+        suffix = f"-{fingerprint[:_NAME_HASH_LEN]}.json"
+        for path in self.root.glob(f"*{suffix}"):
+            try:
+                artifact = RunArtifact.loads(path.read_text())
+            except (ArtifactError, OSError):
+                continue
+            if artifact.fingerprint == fingerprint:
+                return artifact
+        return None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    # -- write -------------------------------------------------------------
+
+    def put(self, artifact: RunArtifact) -> pathlib.Path:
+        """Persist one artifact atomically; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(artifact)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(artifact.dumps() + "\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """All readable artifacts in the store, sorted by filename."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                fingerprint = payload["fingerprint"]
+                label = RunArtifact.from_json_dict(payload).label
+            except (ArtifactError, OSError, ValueError, KeyError, TypeError):
+                continue
+            out.append(StoreEntry(path=path, fingerprint=fingerprint,
+                                  label=label, size=path.stat().st_size))
+        return out
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+        return removed

@@ -12,6 +12,12 @@ one context to the paper's eight).
     sweep = context_sweep("apache", (1, 2, 4, 8), instructions=200_000)
     for point in sweep.points:
         print(point.value, point.metrics["ipc"])
+
+The named sweeps (:func:`context_sweep`, :func:`quantum_sweep`,
+:func:`cache_scale_sweep`) accept ``max_workers`` to evaluate their points
+concurrently through :mod:`repro.analysis.runner` -- their builders live in
+:data:`SWEEP_BUILDERS` as module-level functions so worker processes can
+reconstruct each point from plain arguments.
 """
 
 from __future__ import annotations
@@ -99,48 +105,81 @@ def _workload(name: str):
     raise ValueError(f"unknown workload {name!r}")
 
 
+def build_context_sim(workload: str, n, seed: int = 11) -> Simulation:
+    """One context-scaling sweep point (picklable by reference)."""
+    cpu = CPUConfig(
+        n_contexts=n,
+        fetch_contexts=min(2, n),
+        pipeline_stages=7 if n == 1 else 9,
+    )
+    return Simulation(_workload(workload), machine=MachineConfig(cpu=cpu),
+                      seed=seed)
+
+
+def build_quantum_sim(workload: str, q, seed: int = 11) -> Simulation:
+    """One scheduler-quantum sweep point."""
+    return Simulation(_workload(workload), seed=seed, quantum=q)
+
+
+def build_cache_scale_sim(workload: str, scale, seed: int = 11) -> Simulation:
+    """One L1/L2-capacity sweep point."""
+    from repro.memory.hierarchy import MemoryConfig
+
+    base = MemoryConfig()
+    memory = MemoryConfig(
+        l1i_size=int(base.l1i_size * scale),
+        l1d_size=int(base.l1d_size * scale),
+        l2_size=int(base.l2_size * scale),
+    )
+    return Simulation(_workload(workload),
+                      machine=MachineConfig(memory=memory), seed=seed)
+
+
+#: Named point builders the parallel runner can ship to worker processes.
+SWEEP_BUILDERS: dict[str, Callable] = {
+    "contexts": build_context_sim,
+    "quantum": build_quantum_sim,
+    "scale": build_cache_scale_sim,
+}
+
+
+def _named_sweep(kind: str, label: str, workload: str, values,
+                 instructions: int, seed: int,
+                 max_workers: int | None) -> Sweep:
+    """Run one of the named sweeps, concurrently when requested."""
+    if max_workers is not None and max_workers > 1:
+        from repro.analysis.runner import run_sweep_points
+
+        sweep = Sweep(label, kind)
+        for value, point_metrics in run_sweep_points(
+                kind, workload, values, instructions, seed,
+                max_workers=max_workers):
+            sweep.points.append(SweepPoint(value, point_metrics))
+        return sweep
+    builder = SWEEP_BUILDERS[kind]
+    return run_sweep(label, kind, values,
+                     lambda v: builder(workload, v, seed), instructions)
+
+
 def context_sweep(workload: str, contexts=(1, 2, 4, 8),
-                  instructions: int = 150_000, seed: int = 11) -> Sweep:
+                  instructions: int = 150_000, seed: int = 11,
+                  max_workers: int | None = None) -> Sweep:
     """Throughput and miss rates vs hardware context count."""
-
-    def build(n):
-        cpu = CPUConfig(
-            n_contexts=n,
-            fetch_contexts=min(2, n),
-            pipeline_stages=7 if n == 1 else 9,
-        )
-        return Simulation(_workload(workload), machine=MachineConfig(cpu=cpu),
-                          seed=seed)
-
-    return run_sweep(f"{workload} context scaling", "contexts", contexts,
-                     build, instructions)
+    return _named_sweep("contexts", f"{workload} context scaling", workload,
+                        contexts, instructions, seed, max_workers)
 
 
 def quantum_sweep(workload: str, quanta=(5_000, 20_000, 80_000),
-                  instructions: int = 150_000, seed: int = 11) -> Sweep:
+                  instructions: int = 150_000, seed: int = 11,
+                  max_workers: int | None = None) -> Sweep:
     """Scheduler time-slice sensitivity."""
-
-    def build(q):
-        return Simulation(_workload(workload), seed=seed, quantum=q)
-
-    return run_sweep(f"{workload} quantum", "quantum", quanta, build,
-                     instructions)
+    return _named_sweep("quantum", f"{workload} quantum", workload, quanta,
+                        instructions, seed, max_workers)
 
 
 def cache_scale_sweep(workload: str, scales=(0.5, 1.0, 2.0),
-                      instructions: int = 150_000, seed: int = 11) -> Sweep:
+                      instructions: int = 150_000, seed: int = 11,
+                      max_workers: int | None = None) -> Sweep:
     """L1 capacity sensitivity (scales the default scaled geometry)."""
-    from repro.memory.hierarchy import MemoryConfig
-
-    def build(scale):
-        base = MemoryConfig()
-        memory = MemoryConfig(
-            l1i_size=int(base.l1i_size * scale),
-            l1d_size=int(base.l1d_size * scale),
-            l2_size=int(base.l2_size * scale),
-        )
-        return Simulation(_workload(workload),
-                          machine=MachineConfig(memory=memory), seed=seed)
-
-    return run_sweep(f"{workload} cache scale", "scale", scales, build,
-                     instructions)
+    return _named_sweep("scale", f"{workload} cache scale", workload, scales,
+                        instructions, seed, max_workers)

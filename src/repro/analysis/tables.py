@@ -1,15 +1,17 @@
 """Builders for the paper's Tables 2-9.
 
-Each function takes the :class:`~repro.analysis.experiments.RunRecord`
-objects it needs and returns a dict with the structured data plus a
-``"text"`` rendering.  The benchmarks print the text; tests assert on the
-data.
+Each function takes the plain-data
+:class:`~repro.analysis.artifact.RunArtifact` objects it needs and returns
+a dict with the structured data plus a ``"text"`` rendering.  The
+benchmarks print the text; tests assert on the data.  Because artifacts
+carry no live simulator handles, a table renders byte-identically whether
+its run was just executed or loaded from the on-disk store.
 """
 
 from __future__ import annotations
 
 from repro.analysis import metrics as M
-from repro.analysis.experiments import RunRecord
+from repro.analysis.artifact import RunArtifact
 from repro.analysis.render import change_str, format_table
 from repro.isa.types import Mode
 from repro.memory.classify import MissCause, ModeKind
@@ -63,7 +65,7 @@ def _mix_table(title: str, columns: list[tuple[str, dict, Mode | None]], note: s
     }
 
 
-def table2(specint_smt: RunRecord) -> dict:
+def table2(specint_smt: RunArtifact) -> dict:
     """SPECInt dynamic instruction mix, start-up vs steady state (Table 2)."""
     cols = []
     for phase, window in (("Start-up", specint_smt.startup), ("Steady", specint_smt.steady)):
@@ -77,7 +79,7 @@ def table2(specint_smt: RunRecord) -> dict:
     )
 
 
-def table5(apache_smt: RunRecord) -> dict:
+def table5(apache_smt: RunArtifact) -> dict:
     """Apache dynamic instruction mix (Table 5)."""
     window = apache_smt.steady
     cols = [
@@ -125,7 +127,7 @@ def _miss_distribution_table(title: str, window: dict, structures: list[str]) ->
     }
 
 
-def table3(specint_smt: RunRecord) -> dict:
+def table3(specint_smt: RunArtifact) -> dict:
     """SPECInt miss rates and conflict causes (Table 3)."""
     return _miss_distribution_table(
         "Table 3: SPECInt+OS miss rates and miss-cause distribution",
@@ -134,7 +136,7 @@ def table3(specint_smt: RunRecord) -> dict:
     )
 
 
-def table7(apache_smt: RunRecord) -> dict:
+def table7(apache_smt: RunArtifact) -> dict:
     """Apache miss rates and conflict causes (Table 7)."""
     return _miss_distribution_table(
         "Table 7: Apache+OS miss rates and miss-cause distribution",
@@ -156,8 +158,8 @@ _TABLE4_ROWS = (
 )
 
 
-def table4(spec_smt_app: RunRecord, spec_smt_full: RunRecord,
-           spec_ss_app: RunRecord, spec_ss_full: RunRecord) -> dict:
+def table4(spec_smt_app: RunArtifact, spec_smt_full: RunArtifact,
+           spec_ss_app: RunArtifact, spec_ss_full: RunArtifact) -> dict:
     """SPECInt with and without the OS, SMT vs superscalar (Table 4)."""
     windows = {
         "SMT SPEC only": (spec_smt_app.steady, spec_smt_app.n_contexts),
@@ -199,7 +201,7 @@ _TABLE6_ROWS = _TABLE4_ROWS + (
 )
 
 
-def table6(apache_smt: RunRecord, specint_smt: RunRecord, apache_ss: RunRecord) -> dict:
+def table6(apache_smt: RunArtifact, specint_smt: RunArtifact, apache_ss: RunArtifact) -> dict:
     """Apache vs SPECInt on SMT, and Apache on the superscalar (Table 6)."""
     windows = {
         "SMT Apache": (apache_smt.steady, apache_smt.n_contexts),
@@ -222,7 +224,7 @@ def table6(apache_smt: RunRecord, specint_smt: RunRecord, apache_ss: RunRecord) 
     }
 
 
-def table8(apache_smt: RunRecord, apache_ss: RunRecord) -> dict:
+def table8(apache_smt: RunArtifact, apache_ss: RunArtifact) -> dict:
     """Misses avoided by interthread cooperation (Table 8)."""
     structures = ["L1I", "L1D", "L2", "DTLB"]
     headers = ["Mode that would have missed"]
@@ -262,8 +264,8 @@ _TABLE9_ROWS = (
 )
 
 
-def table9(apache_smt_omit: RunRecord, apache_smt_full: RunRecord,
-           apache_ss_omit: RunRecord, apache_ss_full: RunRecord) -> dict:
+def table9(apache_smt_omit: RunArtifact, apache_smt_full: RunArtifact,
+           apache_ss_omit: RunArtifact, apache_ss_full: RunArtifact) -> dict:
     """OS impact on hardware structures for Apache (Table 9)."""
     metrics = {
         "SMT only": M.table4_metrics(apache_smt_omit.steady, apache_smt_omit.n_contexts),

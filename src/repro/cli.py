@@ -2,16 +2,23 @@
 
 ::
 
+    python -m repro prefetch --workers 4          # warm the run store
     python -m repro run specint --cpu smt --instructions 200000
     python -m repro table 4
     python -m repro figure 6
     python -m repro report --out EXPERIMENTS_GENERATED.md
+    python -m repro cache ls
+    python -m repro cache clear
     python -m repro list
 
 ``table`` and ``figure`` regenerate one of the paper's exhibits from the
-memoized canonical runs (the first invocation per process pays the
-simulation cost; ``REPRO_BUDGET_MULT`` scales it).  ``report`` regenerates
-every exhibit and writes a combined report.
+canonical runs.  Runs resolve through the content-addressed on-disk store
+(default ``.repro_cache/``, override with ``REPRO_CACHE_DIR``), so only
+the first invocation *anywhere* pays the simulation cost;
+``REPRO_BUDGET_MULT`` scales the instruction budgets (and is part of the
+store key).  ``prefetch`` executes all eight canonical runs concurrently,
+one process per core; ``report`` regenerates every exhibit and writes a
+combined report.
 """
 
 from __future__ import annotations
@@ -101,10 +108,46 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_prefetch(args) -> int:
+    from repro.analysis.runner import prefetch_timed
+    from repro.analysis.store import RunStore
+
+    artifacts, elapsed = prefetch_timed(max_workers=args.workers,
+                                        force=args.force)
+    for label in sorted(artifacts):
+        art = artifacts[label]
+        print(f"  {label:20s} {art.total['retired']:>12,} instructions "
+              f"({art.fingerprint[:12]})")
+    print(f"{len(artifacts)} canonical runs ready in {elapsed:.1f}s "
+          f"(store: {RunStore().root})")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.analysis.store import RunStore
+
+    store = RunStore()
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} stored run(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"store {store.root} is empty")
+        return 0
+    total = 0
+    for entry in entries:
+        total += entry.size
+        print(f"  {entry.label:24s} {entry.size:>10,} B  "
+              f"{entry.fingerprint[:16]}  {entry.path.name}")
+    print(f"{len(entries)} stored run(s), {total:,} bytes in {store.root}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import build_report
 
-    report = build_report()
+    report = build_report(max_workers=args.workers)
     if args.out:
         report.write(args.out, exhibits_dir=args.exhibits_dir)
         print(f"wrote {args.out} "
@@ -183,7 +226,23 @@ def main(argv=None) -> int:
     p_rep.add_argument("--out", default=None)
     p_rep.add_argument("--exhibits-dir", default=None, dest="exhibits_dir",
                        help="also write one file per exhibit here")
+    p_rep.add_argument("--workers", type=int, default=None,
+                       help="warm missing canonical runs with this many "
+                            "processes first")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_pre = sub.add_parser(
+        "prefetch",
+        help="execute all eight canonical runs in parallel and store them")
+    p_pre.add_argument("--workers", type=int, default=None,
+                       help="process count (default: one per core)")
+    p_pre.add_argument("--force", action="store_true",
+                       help="re-run even when the store already has a run")
+    p_pre.set_defaults(func=_cmd_prefetch)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the run store")
+    p_cache.add_argument("cache_command", choices=["ls", "clear"])
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_cmp = sub.add_parser(
         "compare", help="paper-vs-measured shape comparison (EXPERIMENTS.md)")

@@ -10,13 +10,53 @@ paper's metrics from a single run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.core.config import MachineConfig
 from repro.core.processor import Processor
 from repro.core.stats import SimStats
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.os_model.kernel import MiniDUX, OSMode
+
+#: Every tunable simulator knob beyond (workload, machine, os_mode, seed)
+#: and its default.  This dict is the single source of truth for the
+#: configuration fingerprint: a run's store key covers all of these, so a
+#: non-default simulation can never collide with a canonical one.
+SIM_KNOB_DEFAULTS: dict[str, object] = {
+    "quantum": 20_000,
+    "timer_interval": 100_000,
+    "tick_interval": 8,
+    "omit_kernel_refs": False,
+    "timeline_interval": 8192,
+    "tlb_flush_on_switch": False,
+    "spin_policy": "spin",
+}
+
+
+def sim_params(
+    workload_name: str,
+    machine: MachineConfig,
+    os_mode: OSMode = OSMode.FULL,
+    seed: int = 1,
+    **knobs,
+) -> dict:
+    """The full, JSON-safe configuration fingerprint of one simulation.
+
+    ``knobs`` may override any entry of :data:`SIM_KNOB_DEFAULTS`; unknown
+    names raise so fingerprints cannot silently omit a new knob.
+    """
+    unknown = set(knobs) - set(SIM_KNOB_DEFAULTS)
+    if unknown:
+        raise TypeError(f"unknown simulator knob(s): {sorted(unknown)}")
+    params = {
+        "workload": workload_name,
+        "machine": asdict(machine),
+        "os_mode": os_mode.value,
+        "seed": seed,
+    }
+    params.update(SIM_KNOB_DEFAULTS)
+    params.update(knobs)
+    return params
 
 
 @dataclass
@@ -58,6 +98,19 @@ class Simulation:
         self.workload = workload
         self.os_mode = os_mode
         self.tick_interval = tick_interval
+        self.params = sim_params(
+            getattr(workload, "name", type(workload).__name__),
+            self.machine,
+            os_mode=os_mode,
+            seed=seed,
+            quantum=quantum,
+            timer_interval=timer_interval,
+            tick_interval=tick_interval,
+            omit_kernel_refs=omit_kernel_refs,
+            timeline_interval=timeline_interval,
+            tlb_flush_on_switch=tlb_flush_on_switch,
+            spin_policy=spin_policy,
+        )
         rng = random.Random(seed)
         self.hierarchy = MemoryHierarchy(self.machine.memory)
         self.hierarchy.omit_kernel_refs = omit_kernel_refs
@@ -107,4 +160,32 @@ class Simulation:
             workload=self.workload,
             os_mode=self.os_mode,
             cycles=now,
+        )
+
+    def to_artifact(self, startup: dict, steady: dict, total: dict,
+                    spec_extra: dict | None = None):
+        """Freeze this simulation into a plain-data run artifact.
+
+        ``startup``/``steady``/``total`` are the counter windows produced
+        by :func:`repro.analysis.snapshot.diff`; ``spec_extra`` adds
+        identifying labels (workload/cpu/os_mode names, instruction
+        budget) on top of the full config fingerprint in ``self.params``.
+        """
+        from repro.analysis.artifact import RunArtifact
+
+        spec = dict(spec_extra or {})
+        spec["params"] = self.params
+        marks = sorted(
+            [name, label, cycle]
+            for (name, label), cycle in self.os.marks.items()
+        )
+        return RunArtifact(
+            spec=spec,
+            n_contexts=self.machine.cpu.n_contexts,
+            cycles=self.stats.cycles,
+            timeline=self.stats.timeline,
+            marks=marks,
+            startup=startup,
+            steady=steady,
+            total=total,
         )

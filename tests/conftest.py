@@ -6,6 +6,23 @@ import random
 
 import pytest
 
+
+@pytest.fixture(scope="session")
+def session_store_dir(tmp_path_factory):
+    """One run-store directory for the whole test session."""
+    return tmp_path_factory.mktemp("repro-store")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_store(session_store_dir, monkeypatch):
+    """Point the on-disk run store at a session temp dir.
+
+    Keeps tests from writing ``.repro_cache/`` into the repository while
+    still letting identical canonical runs be shared across test modules
+    within one session (that sharing is the store working as designed).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(session_store_dir))
+
 from repro.isa.code import CodeModel, CodeModelConfig, CodeWalker, SegmentSpec
 from repro.isa.data import DataModel, Region
 from repro.isa.mix import BranchProfile, InstructionMix

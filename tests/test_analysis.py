@@ -4,9 +4,9 @@ table/figure builders, on one shared small run."""
 import pytest
 
 from repro.analysis import figures, metrics as M, tables
-from repro.analysis.experiments import RunRecord, build_simulation, run_windowed
+from repro.analysis.experiments import build_simulation, run_windowed
 from repro.analysis.snapshot import capture, diff
-from repro.core.simulator import SimResult, Simulation
+from repro.core.simulator import Simulation
 from repro.isa.types import Mode
 from repro.workloads.specint import SpecIntWorkload
 
@@ -15,12 +15,10 @@ from repro.workloads.specint import SpecIntWorkload
 def small_record():
     sim = build_simulation("specint", "smt", "full", seed=41)
     startup, steady, total = run_windowed(sim, budget=120_000)
-    result = SimResult(
-        machine=sim.machine, stats=sim.stats, hierarchy=sim.hierarchy,
-        os=sim.os, processor=sim.processor, workload=sim.workload,
-        os_mode=sim.os_mode, cycles=sim.stats.cycles,
-    )
-    return RunRecord(("t",), result, startup, steady, total)
+    return sim.to_artifact(startup, steady, total,
+                           spec_extra={"workload": "specint", "cpu": "smt",
+                                       "os_mode": "full",
+                                       "instructions": 120_000, "seed": 41})
 
 
 def test_capture_contains_core_counters():
@@ -149,12 +147,16 @@ def test_figure_builders_produce_text(small_record):
 
 def test_budget_mult_env(monkeypatch):
     from repro.analysis import experiments
+    experiments._WARNED_BUDGET_VALUES.clear()
     monkeypatch.setenv("REPRO_BUDGET_MULT", "0.5")
     assert experiments._budget_multiplier() == 0.5
     monkeypatch.setenv("REPRO_BUDGET_MULT", "junk")
-    assert experiments._budget_multiplier() == 1.0
+    with pytest.warns(RuntimeWarning, match="junk"):
+        assert experiments._budget_multiplier() == 1.0
     monkeypatch.setenv("REPRO_BUDGET_MULT", "-2")
-    assert experiments._budget_multiplier() == 1.0
+    with pytest.warns(RuntimeWarning, match="-2"):
+        assert experiments._budget_multiplier() == 1.0
+    experiments._WARNED_BUDGET_VALUES.clear()
 
 
 def test_build_simulation_validates():

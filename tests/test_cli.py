@@ -68,3 +68,35 @@ def test_cli_compare_runs(capsys):
     assert cli.main(["compare"]) in (0, 1)
     out = capsys.readouterr().out
     assert "shape criteria hold" in out
+
+
+def test_cli_prefetch_and_cache_lifecycle(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "0.005")
+
+    assert cli.main(["cache", "ls"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+    assert cli.main(["prefetch", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "8 canonical runs ready" in out
+    assert str(tmp_path) in out
+
+    assert cli.main(["cache", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "apache-smt-full" in out
+    assert "8 stored run(s)" in out
+
+    # A second prefetch is store-served: no simulation may run.
+    experiments.clear_cache()
+    monkeypatch.setattr(
+        experiments, "execute_spec",
+        lambda spec: (_ for _ in ()).throw(
+            AssertionError("prefetch re-ran a stored spec")))
+    assert cli.main(["prefetch"]) == 0
+    assert "8 canonical runs ready" in capsys.readouterr().out
+
+    assert cli.main(["cache", "clear"]) == 0
+    assert "removed 8" in capsys.readouterr().out
+    assert cli.main(["cache", "ls"]) == 0
+    assert "empty" in capsys.readouterr().out

@@ -27,6 +27,15 @@ def record():
     experiments.clear_cache()
 
 
+@pytest.fixture(scope="module")
+def live_sim():
+    """A small live simulation for invariants that need real OS handles
+    (run artifacts are plain data and carry none)."""
+    sim = experiments.build_simulation("specint", "smt", "full", seed=93)
+    sim.run(max_instructions=20_000)
+    return sim
+
+
 def test_summarize_window_keys(record):
     summary = summarize_window(record.total)
     assert summary["instructions"] == record.total["retired"]
@@ -44,7 +53,8 @@ def test_window_to_json_roundtrip(tmp_path, record):
 def test_record_to_json(tmp_path, record):
     path = record_to_json(record, tmp_path / "r.json")
     data = json.loads(path.read_text())
-    assert set(data) == {"key", "startup", "steady", "total"}
+    assert set(data) == {"spec", "fingerprint", "startup", "steady", "total"}
+    assert data["fingerprint"] == record.fingerprint
     assert (data["startup"]["instructions"] + data["steady"]["instructions"]
             == data["total"]["instructions"])
 
@@ -83,8 +93,8 @@ def test_every_syscall_has_positive_cost():
         assert spec.copy_factor > 0
 
 
-def test_kernel_text_segments_are_control_flow_closed(record):
-    model = record.result.os.kernel_text
+def test_kernel_text_segments_are_control_flow_closed(live_sim):
+    model = live_sim.os.kernel_text
     for seg in model.segments.values():
         for b in range(seg.start, seg.end):
             assert seg.start <= model.fallthrough[b] < seg.end
@@ -97,15 +107,15 @@ def test_paper_scale_machine_preset():
     assert machine.cpu.btb_entries == 1024
 
 
-def test_kernel_lock_names_known(record):
-    os_ = record.result.os
+def test_kernel_lock_names_known(live_sim):
+    os_ = live_sim.os
     for spec in SYSCALL_CATALOG.values():
         if spec.lock is not None:
             assert spec.lock in os_.locks.DEFAULT_LOCKS
 
 
-def test_all_services_classified(record):
+def test_all_services_classified(live_sim):
     """Every attribution label seen in a real run maps to a mode class."""
     from repro.core.stats import service_class
-    for service in record.result.stats.service_cycles:
+    for service in live_sim.stats.service_cycles:
         assert service_class(service) in (0, 1, 2, 3)

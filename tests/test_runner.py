@@ -1,0 +1,105 @@
+"""Executor-layer tests: run_many/prefetch_all resolution order, store
+population, and parallel-vs-serial sweep equivalence."""
+
+import pytest
+
+from repro.analysis import experiments, sweeps
+from repro.analysis import runner
+from repro.analysis.store import RunStore
+
+
+@pytest.fixture(autouse=True)
+def _tiny_isolated(monkeypatch, tmp_path):
+    """Per-test store dir and small budgets; memo cleared on both sides."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "0.005")
+    experiments.clear_cache()
+    yield
+    experiments.clear_cache()
+
+
+def test_canonical_specs_cover_the_paper():
+    assert len(runner.CANONICAL_SPECS) == 8
+    assert len(set(runner.CANONICAL_SPECS)) == 8
+    for wl, cpu, mode in runner.CANONICAL_SPECS:
+        assert wl in ("specint", "apache")
+        assert cpu in ("smt", "ss")
+        assert mode in ("full", "app", "omit")
+
+
+def test_default_workers_bounds():
+    assert 1 <= runner.default_workers() <= len(runner.CANONICAL_SPECS)
+
+
+def test_run_many_serial_executes_and_stores():
+    triples = [("specint", "smt", "full"), ("specint", "ss", "full")]
+    result = runner.run_many(triples, max_workers=1)
+    assert set(result) == {"specint-smt-full", "specint-ss-full"}
+    store = RunStore()
+    for artifact in result.values():
+        assert store.get(artifact.fingerprint) == artifact
+
+
+def test_run_many_uses_store_instead_of_rerunning(monkeypatch):
+    triples = [("specint", "smt", "full")]
+    first = runner.run_many(triples, max_workers=1)
+    experiments.clear_cache()
+
+    def boom(spec):  # pragma: no cover - must never run
+        raise AssertionError("execute_spec called despite a warm store")
+
+    monkeypatch.setattr(experiments, "execute_spec", boom)
+    again = runner.run_many(triples, max_workers=1)
+    assert again == first
+
+
+def test_run_many_force_reexecutes(monkeypatch):
+    triples = [("specint", "smt", "full")]
+    runner.run_many(triples, max_workers=1)
+    calls = []
+    original = experiments.execute_spec
+
+    def spy(spec):
+        calls.append(spec["workload"])
+        return original(spec)
+
+    monkeypatch.setattr(experiments, "execute_spec", spy)
+    runner.run_many(triples, max_workers=1, force=True)
+    assert calls == ["specint"]
+
+
+def test_prefetch_all_populates_all_eight():
+    artifacts = runner.prefetch_all(max_workers=2)
+    assert len(artifacts) == 8
+    labels = {f"{wl}-{cpu}-{mode}" for wl, cpu, mode in runner.CANONICAL_SPECS}
+    assert set(artifacts) == labels
+    assert len(RunStore().entries()) == 8
+    # Parallel-produced artifacts resolve through get_run afterwards.
+    a = experiments.get_run("apache", "smt", "omit")
+    assert a == artifacts["apache-smt-omit"]
+
+
+def test_prefetch_timed_reports_elapsed():
+    artifacts, elapsed = runner.prefetch_timed(max_workers=1)
+    assert len(artifacts) == 8
+    assert elapsed >= 0.0
+
+
+def test_parallel_sweep_matches_serial():
+    serial = sweeps.context_sweep("specint", contexts=(1, 2),
+                                  instructions=6_000)
+    parallel = sweeps.context_sweep("specint", contexts=(1, 2),
+                                    instructions=6_000, max_workers=2)
+    assert [p.value for p in parallel.points] == [1, 2]
+    for sp, pp in zip(serial.points, parallel.points):
+        assert sp.value == pp.value
+        assert sp.metrics == pp.metrics
+
+
+def test_run_sweep_points_preserves_order():
+    points = runner.run_sweep_points("quantum", "specint", (30_000, 10_000),
+                                     instructions=6_000, seed=11,
+                                     max_workers=2)
+    assert [v for v, _ in points] == [30_000, 10_000]
+    for _, metrics in points:
+        assert set(metrics) == set(sweeps.DEFAULT_METRICS)
