@@ -14,7 +14,8 @@ def test_fig1_specint_cycle_breakdown(benchmark, emit):
         lambda: figures.fig1(get_run("specint", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("fig1_specint_cycles", fig["text"])
+    emit("fig1_specint_cycles", fig["text"],
+         runs=get_run("specint", "smt", "full"))
     data = fig["data"]
     # Start-up is markedly more OS-intensive than steady state.
     assert data["startup_os_share"] > 1.5 * data["steady_os_share"]

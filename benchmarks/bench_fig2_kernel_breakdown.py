@@ -14,7 +14,8 @@ def test_fig2_specint_kernel_breakdown(benchmark, emit):
         lambda: figures.fig2(get_run("specint", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("fig2_kernel_breakdown", fig["text"])
+    emit("fig2_kernel_breakdown", fig["text"],
+         runs=get_run("specint", "smt", "full"))
     startup, steady = fig["data"]["startup"], fig["data"]["steady"]
     # Kernel time shrinks massively from start-up to steady state.
     assert sum(startup.values()) > 2 * sum(steady.values())

@@ -13,7 +13,8 @@ def test_fig3_vm_incursions(benchmark, emit):
         lambda: figures.fig3(get_run("specint", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("fig3_vm_incursions", fig["text"])
+    emit("fig3_vm_incursions", fig["text"],
+         runs=get_run("specint", "smt", "full"))
     raw = fig["data"]["raw"]
     total = sum(raw.values())
     assert total > 0

@@ -14,7 +14,8 @@ def test_fig4_specint_syscalls(benchmark, emit):
         lambda: figures.fig4(get_run("specint", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("fig4_syscall_cycles", fig["text"])
+    emit("fig4_syscall_cycles", fig["text"],
+         runs=get_run("specint", "smt", "full"))
     startup, steady = fig["data"]["startup"], fig["data"]["steady"]
     assert sum(startup.values()) > sum(steady.values())
     # Reads are a leading start-up syscall.

@@ -13,6 +13,7 @@ def test_fig5_apache_cycle_breakdown(benchmark, emit):
         lambda: figures.fig5(get_run("apache", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("fig5_apache_cycles", fig["text"])
+    emit("fig5_apache_cycles", fig["text"],
+         runs=get_run("apache", "smt", "full"))
     assert fig["data"]["kernel_share"] > 0.60
     assert fig["data"]["shares"]["idle"] < 0.05

@@ -18,7 +18,9 @@ def test_fig6_apache_kernel_breakdown(benchmark, emit):
         ),
         rounds=1, iterations=1,
     )
-    emit("fig6_apache_kernel_breakdown", fig["text"])
+    emit("fig6_apache_kernel_breakdown", fig["text"],
+         runs=(get_run("apache", "smt", "full"),
+               get_run("specint", "smt", "full")))
     fracs = fig["data"]["apache_kernel_fracs"]
     # System calls are the largest class of Apache kernel time.
     assert fracs["syscalls"] > fracs["interrupts+netisr"]

@@ -14,7 +14,8 @@ def test_fig7_apache_syscall_breakdown(benchmark, emit):
         lambda: figures.fig7(get_run("apache", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("fig7_apache_syscalls", fig["text"])
+    emit("fig7_apache_syscalls", fig["text"],
+         runs=get_run("apache", "smt", "full"))
     by_name = fig["data"]["by_name"]
     # stat and the read/write family are leading consumers.
     top5 = sorted(by_name, key=by_name.get, reverse=True)[:5]

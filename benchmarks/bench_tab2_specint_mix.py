@@ -16,7 +16,8 @@ def test_tab2_specint_instruction_mix(benchmark, emit):
         lambda: tables.table2(get_run("specint", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("tab2_specint_mix", tab["text"])
+    emit("tab2_specint_mix", tab["text"],
+         runs=get_run("specint", "smt", "full"))
     steady_user = tab["data"]["Steady User"]
     steady_kernel = tab["data"]["Steady Kernel"]
     assert 14 <= steady_user["load"] <= 27

@@ -15,7 +15,8 @@ def test_tab3_specint_miss_distribution(benchmark, emit):
         lambda: tables.table3(get_run("specint", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("tab3_specint_misses", tab["text"])
+    emit("tab3_specint_misses", tab["text"],
+         runs=get_run("specint", "smt", "full"))
     rates = tab["data"]["miss_rates"]
     # The kernel's D-cache miss rate exceeds the applications' (paper:
     # 18.8% vs 3.2%) and its BTB miss rate is high in absolute terms.  The

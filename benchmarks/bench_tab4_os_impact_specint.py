@@ -19,7 +19,11 @@ def test_tab4_os_impact_on_specint(benchmark, emit):
         )
 
     tab = benchmark.pedantic(build, rounds=1, iterations=1)
-    emit("tab4_os_impact_specint", tab["text"])
+    emit("tab4_os_impact_specint", tab["text"],
+         runs=(get_run("specint", "smt", "app"),
+               get_run("specint", "smt", "full"),
+               get_run("specint", "ss", "app"),
+               get_run("specint", "ss", "full")))
     m = tab["data"]
     # SMT holds its throughput when the OS is added (small change).
     smt_drop = 1 - m["SMT SPEC+OS"]["ipc"] / m["SMT SPEC only"]["ipc"]

@@ -14,7 +14,8 @@ def test_tab5_apache_instruction_mix(benchmark, emit):
         lambda: tables.table5(get_run("apache", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("tab5_apache_mix", tab["text"])
+    emit("tab5_apache_mix", tab["text"],
+         runs=get_run("apache", "smt", "full"))
     user, kernel = tab["data"]["User"], tab["data"]["Kernel"]
     assert user["floating_point"] < 0.2
     assert kernel["floating_point"] < 0.2

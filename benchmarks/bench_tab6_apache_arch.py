@@ -20,7 +20,10 @@ def test_tab6_apache_architecture(benchmark, emit):
         )
 
     tab = benchmark.pedantic(build, rounds=1, iterations=1)
-    emit("tab6_apache_arch", tab["text"])
+    emit("tab6_apache_arch", tab["text"],
+         runs=(get_run("apache", "smt", "full"),
+               get_run("specint", "smt", "full"),
+               get_run("apache", "ss", "full")))
     m = tab["data"]
     # SPECInt outperforms Apache on SMT; Apache on SMT far outperforms
     # Apache on the superscalar (paper: 4.2x).

@@ -15,7 +15,8 @@ def test_tab7_apache_miss_distribution(benchmark, emit):
         lambda: tables.table7(get_run("apache", "smt", "full")),
         rounds=1, iterations=1,
     )
-    emit("tab7_apache_misses", tab["text"])
+    emit("tab7_apache_misses", tab["text"],
+         runs=get_run("apache", "smt", "full"))
     causes = tab["data"]["causes"]
 
     def kernel_conflicts(structure):

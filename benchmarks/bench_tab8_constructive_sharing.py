@@ -17,7 +17,9 @@ def test_tab8_interthread_prefetching(benchmark, emit):
         ),
         rounds=1, iterations=1,
     )
-    emit("tab8_constructive_sharing", tab["text"])
+    emit("tab8_constructive_sharing", tab["text"],
+         runs=(get_run("apache", "smt", "full"),
+               get_run("apache", "ss", "full")))
     data = tab["data"]
     # Kernel-by-kernel sharing is the dominant entry on SMT.
     smt_kk_l1d = data[("Apache - SMT", "L1D", 1, 1)]

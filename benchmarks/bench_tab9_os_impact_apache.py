@@ -19,7 +19,11 @@ def test_tab9_os_impact_on_apache(benchmark, emit):
         )
 
     tab = benchmark.pedantic(build, rounds=1, iterations=1)
-    emit("tab9_os_impact_apache", tab["text"])
+    emit("tab9_os_impact_apache", tab["text"],
+         runs=(get_run("apache", "smt", "omit"),
+               get_run("apache", "smt", "full"),
+               get_run("apache", "ss", "omit"),
+               get_run("apache", "ss", "full")))
     m = tab["data"]
     # The OS multiplies the I-cache miss rate (paper: 5.5x) and raises the
     # D-cache miss rate (paper: +35%).  The L2 row is reported but not

@@ -17,6 +17,7 @@ prints it (visible with ``pytest -s``).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -41,13 +42,38 @@ def output_dir() -> pathlib.Path:
     return OUTPUT_DIR
 
 
+def _run_metrics(run) -> dict:
+    """The stable metrics record of one run artifact: identity plus the
+    probe tree of each counter window, all deterministically sorted."""
+    return {
+        "label": run.label,
+        "fingerprint": run.fingerprint,
+        "schema_version": run.schema_version,
+        "probes": {window: run.window(window).get("probes", {})
+                   for window in ("startup", "steady", "total")},
+    }
+
+
 @pytest.fixture(scope="session")
 def emit(output_dir):
-    """Write a rendered table/figure to disk and echo it."""
+    """Write a rendered table/figure to disk and echo it.
 
-    def _emit(name: str, text: str) -> None:
+    With *runs* (the artifact(s) an exhibit was built from), also write
+    ``<name>.metrics.json``: per-run probe snapshots for every counter
+    window, so each bench output carries a machine-readable metrics
+    section that is stable across re-renders of the same artifacts.
+    """
+
+    def _emit(name: str, text: str, runs=None) -> None:
         path = output_dir / f"{name}.txt"
         path.write_text(text + "\n")
+        if runs is not None:
+            if not isinstance(runs, (list, tuple)):
+                runs = (runs,)
+            payload = {"exhibit": name,
+                       "runs": [_run_metrics(r) for r in runs]}
+            (output_dir / f"{name}.metrics.json").write_text(
+                json.dumps(payload, sort_keys=True, indent=2) + "\n")
         print()
         print(text)
 

@@ -27,7 +27,9 @@ from dataclasses import dataclass, field
 
 #: Version of the artifact data layout.  Bump when the window/timeline/
 #: marks structure changes; old stored artifacts then miss and re-run.
-SCHEMA_VERSION = 1
+#: v2: counter windows carry the flattened probe-registry tree under
+#: ``probes`` (see repro.obs.registry).
+SCHEMA_VERSION = 2
 
 #: Coarse code-version tag folded into every fingerprint.  Bump when the
 #: *simulator's* behavior changes (new counters, different scheduling,

@@ -83,6 +83,10 @@ def capture(sim: Simulation) -> dict:
             "mem_transactions": hierarchy.mem_bus.transactions,
             "mem_wait": hierarchy.mem_bus.total_wait,
         },
+        # The full hierarchical probe tree (mem.* / branch.* / os.* /
+        # core.*), flattened and sorted: every window of a stored artifact
+        # carries full counter detail (see `repro counters`).
+        "probes": sim.obs.snapshot(),
     }
     return snap
 

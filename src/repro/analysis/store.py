@@ -18,6 +18,7 @@ as misses, never as errors.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import pathlib
@@ -52,14 +53,31 @@ def _slug(spec: dict) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
 
 
+def _spec_label(spec) -> str:
+    """Label from a raw spec dict (mirrors RunArtifact.label, but usable
+    for stale-schema payloads that no longer parse as artifacts)."""
+    if not isinstance(spec, dict):
+        return "run"
+    parts = [str(spec.get(k)) for k in ("workload", "cpu", "os_mode")
+             if spec.get(k) is not None]
+    return "-".join(parts) or "run"
+
+
 @dataclass(frozen=True)
 class StoreEntry:
-    """One stored artifact, as listed by ``repro cache ls``."""
+    """One stored artifact, as listed by ``repro cache ls``.
+
+    ``schema_version`` is whatever the payload recorded (stale entries
+    keep their old version so ``cache ls`` can show why they miss);
+    ``created`` is the file's mtime as an ISO-8601 timestamp.
+    """
 
     path: pathlib.Path
     fingerprint: str
     label: str
     size: int
+    schema_version: int | None = None
+    created: str = ""
 
 
 class RunStore:
@@ -106,7 +124,13 @@ class RunStore:
     # -- maintenance -------------------------------------------------------
 
     def entries(self) -> list[StoreEntry]:
-        """All readable artifacts in the store, sorted by filename."""
+        """All parseable artifacts in the store, sorted by filename.
+
+        Stale-schema entries are still listed (with their recorded
+        ``schema_version``) so ``repro cache ls`` can explain why a run
+        re-simulated instead of hitting; only unreadable files are
+        skipped.
+        """
         if not self.root.is_dir():
             return []
         out = []
@@ -114,11 +138,19 @@ class RunStore:
             try:
                 payload = json.loads(path.read_text())
                 fingerprint = payload["fingerprint"]
-                label = RunArtifact.from_json_dict(payload).label
-            except (ArtifactError, OSError, ValueError, KeyError, TypeError):
+                stat = path.stat()
+            except (OSError, ValueError, KeyError, TypeError):
                 continue
-            out.append(StoreEntry(path=path, fingerprint=fingerprint,
-                                  label=label, size=path.stat().st_size))
+            if not isinstance(payload, dict) or not isinstance(fingerprint, str):
+                continue
+            version = payload.get("schema_version")
+            created = datetime.datetime.fromtimestamp(
+                stat.st_mtime).isoformat(timespec="seconds")
+            out.append(StoreEntry(
+                path=path, fingerprint=fingerprint,
+                label=_spec_label(payload.get("spec")), size=stat.st_size,
+                schema_version=version if isinstance(version, int) else None,
+                created=created))
         return out
 
     def clear(self) -> int:

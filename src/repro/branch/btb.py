@@ -116,6 +116,15 @@ class BranchTargetBuffer:
             s.clear()
         return dropped
 
+    def register_probes(self, registry, prefix: str) -> None:
+        """Expose lookup/miss/stale-target counters as derived probes."""
+        from repro.obs.registry import register_miss_stats
+
+        register_miss_stats(registry, prefix, self.stats)
+        for k, kind in enumerate(("user", "kernel")):
+            registry.derive(f"{prefix}.target_mispredict.{kind}",
+                            lambda k=k: self.target_mispredicts[k])
+
     def miss_rate(self, kind: int | None = None) -> float:
         """Lookup miss rate, including stale-target mispredictions.
 

@@ -133,6 +133,15 @@ class BranchUnit:
         """Reset per-context state when a context switches software threads."""
         self.ras[ctx].clear()
 
+    def register_probes(self, registry) -> None:
+        """Register the branch layer's probe subtree (``branch.*``)."""
+        self.btb.register_probes(registry, "branch.btb")
+        for k, kind in enumerate(("user", "kernel")):
+            registry.derive(f"branch.cond.predictions.{kind}",
+                            lambda k=k: self.cond_predictions[k])
+            registry.derive(f"branch.cond.mispredicts.{kind}",
+                            lambda k=k: self.cond_mispredicts[k])
+
     def misprediction_rate(self, kind: int | None = None) -> float:
         """Conditional direction misprediction rate."""
         if kind is None:

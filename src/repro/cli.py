@@ -10,9 +10,16 @@
     python -m repro cache ls
     python -m repro cache clear
     python -m repro list
+    python -m repro counters specint --grep mem.l2
+    python -m repro trace specint --out trace.json
+    python -m repro profile specint
 
 ``table`` and ``figure`` regenerate one of the paper's exhibits from the
-canonical runs.  Runs resolve through the content-addressed on-disk store
+canonical runs.  ``counters`` reads the hierarchical probe tree out of a
+stored artifact; ``trace`` re-runs a workload with the event bus attached
+and exports a Chrome ``trace_event`` file (open in Perfetto /
+``chrome://tracing``); ``profile`` times the simulator's own components
+(see ``docs/observability.md``).  Runs resolve through the content-addressed on-disk store
 (default ``.repro_cache/``, override with ``REPRO_CACHE_DIR``), so only
 the first invocation *anywhere* pays the simulation cost;
 ``REPRO_BUDGET_MULT`` scales the instruction budgets (and is part of the
@@ -135,12 +142,86 @@ def _cmd_cache(args) -> int:
     if not entries:
         print(f"store {store.root} is empty")
         return 0
+    from repro.analysis.artifact import SCHEMA_VERSION
+
     total = 0
+    stale = 0
     for entry in entries:
         total += entry.size
-        print(f"  {entry.label:24s} {entry.size:>10,} B  "
-              f"{entry.fingerprint[:16]}  {entry.path.name}")
-    print(f"{len(entries)} stored run(s), {total:,} bytes in {store.root}")
+        version = ("?" if entry.schema_version is None
+                   else f"v{entry.schema_version}")
+        if entry.schema_version != SCHEMA_VERSION:
+            stale += 1
+            version += "*"
+        print(f"  {entry.label:24s} {version:<4s} {entry.created:19s} "
+              f"{entry.size:>10,} B  {entry.fingerprint[:16]}  "
+              f"{entry.path.name}")
+    summary = f"{len(entries)} stored run(s), {total:,} bytes in {store.root}"
+    if stale:
+        summary += (f"  [{stale} stale: schema != v{SCHEMA_VERSION}, "
+                    "will re-run on next use]")
+    print(summary)
+    return 0
+
+
+def _cmd_counters(args) -> int:
+    rec = get_run(args.workload, args.cpu, args.os_mode,
+                  instructions=args.instructions, seed=args.seed)
+    probes = rec.window(args.window).get("probes", {})
+    if args.grep:
+        probes = {k: v for k, v in probes.items() if k.startswith(args.grep)}
+    if not probes:
+        print(f"no probes match prefix {args.grep!r}" if args.grep
+              else "artifact carries no probe snapshot (pre-v2 schema?)")
+        return 1
+    import json as _json
+
+    width = max(len(name) for name in probes)
+    for name in sorted(probes):
+        value = probes[name]
+        if isinstance(value, dict):  # histogram snapshot
+            print(f"  {name:<{width}s} {_json.dumps(value, sort_keys=True)}")
+        elif isinstance(value, float):
+            print(f"  {name:<{width}s} {value:>14.3f}")
+        else:
+            print(f"  {name:<{width}s} {value:>14,}")
+    print(f"{len(probes)} probe(s) [{args.window} window] "
+          f"{rec.label} ({rec.fingerprint[:12]})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.experiments import build_simulation
+    from repro.obs.events import EventBus
+    from repro.obs.export import to_jsonl, write_chrome_trace
+
+    sim = build_simulation(args.workload, args.cpu, args.os_mode,
+                           seed=args.seed)
+    bus = EventBus(capacity=args.capacity)
+    sim.attach_events(bus)
+    sim.run(max_instructions=args.instructions)
+    if args.jsonl:
+        with open(args.out, "w") as f:
+            f.write(to_jsonl(bus.events) + "\n")
+    else:
+        write_chrome_trace(args.out, bus.events,
+                           n_contexts=sim.machine.cpu.n_contexts)
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(bus.counts().items()))
+    print(f"wrote {args.out} ({len(bus)} events: {kinds}; "
+          f"{bus.dropped} dropped)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis.experiments import build_simulation
+    from repro.obs.profile import profile_simulation
+
+    sim = build_simulation(args.workload, args.cpu, args.os_mode,
+                           seed=args.seed)
+    prof = profile_simulation(sim, args.instructions)
+    print(prof.render())
+    print(f"\n{sim.stats.retired:,} instructions in {sim.stats.cycles:,} "
+          f"cycles ({args.workload}/{args.cpu}/{args.os_mode})")
     return 0
 
 
@@ -243,6 +324,51 @@ def main(argv=None) -> int:
     p_cache = sub.add_parser("cache", help="inspect or clear the run store")
     p_cache.add_argument("cache_command", choices=["ls", "clear"])
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_cnt = sub.add_parser(
+        "counters",
+        help="print the hierarchical probe tree of a stored run")
+    p_cnt.add_argument("workload", choices=["specint", "apache"])
+    p_cnt.add_argument("--cpu", choices=["smt", "ss"], default="smt")
+    p_cnt.add_argument("--os-mode", choices=["full", "app", "omit"],
+                       default="full", dest="os_mode")
+    p_cnt.add_argument("--instructions", type=int, default=None)
+    p_cnt.add_argument("--seed", type=int, default=11)
+    p_cnt.add_argument("--window", choices=["startup", "steady", "total"],
+                       default="total")
+    p_cnt.add_argument("--grep", default=None, metavar="PREFIX",
+                       help="only probes whose name starts with PREFIX "
+                            "(e.g. mem.l2, os.syscall)")
+    p_cnt.set_defaults(func=_cmd_counters)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="re-run a workload with event tracing and export the trace")
+    p_trace.add_argument("workload", choices=["specint", "apache"])
+    p_trace.add_argument("--cpu", choices=["smt", "ss"], default="smt")
+    p_trace.add_argument("--os-mode", choices=["full", "app", "omit"],
+                         default="full", dest="os_mode")
+    p_trace.add_argument("--instructions", type=int, default=100_000)
+    p_trace.add_argument("--seed", type=int, default=11)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json)")
+    p_trace.add_argument("--jsonl", action="store_true",
+                         help="write raw JSONL events instead of Chrome "
+                              "trace_event JSON")
+    p_trace.add_argument("--capacity", type=int, default=200_000,
+                         help="event ring size (oldest dropped beyond this)")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile the simulator's own components on one run")
+    p_prof.add_argument("workload", choices=["specint", "apache"])
+    p_prof.add_argument("--cpu", choices=["smt", "ss"], default="smt")
+    p_prof.add_argument("--os-mode", choices=["full", "app", "omit"],
+                        default="full", dest="os_mode")
+    p_prof.add_argument("--instructions", type=int, default=100_000)
+    p_prof.add_argument("--seed", type=int, default=11)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_cmp = sub.add_parser(
         "compare", help="paper-vs-measured shape comparison (EXPERIMENTS.md)")

@@ -75,6 +75,7 @@ class Processor:
         hierarchy: MemoryHierarchy,
         stats: SimStats,
         rng: random.Random,
+        registry=None,
     ) -> None:
         if len(streams) != config.n_contexts:
             raise ValueError("one instruction stream per hardware context required")
@@ -98,6 +99,21 @@ class Processor:
         self._rr_cursor = 0  # round-robin fetch rotation (ablation policy)
         #: Optional TraceRecorder (see repro.core.trace); None = no tracing.
         self.tracer = None
+        #: Optional EventBus (see repro.obs.events); None = no events.
+        self.events = None
+        if registry is not None:
+            self.register_probes(registry)
+
+    def register_probes(self, registry) -> None:
+        """Register the core's probe subtree (``core.*`` and ``branch.*``)."""
+        stats = self.stats
+        for name in ("retired", "fetched", "squashed", "zero_fetch_cycles",
+                     "zero_issue_cycles", "max_issue_cycles",
+                     "queue_full_stalls", "inflight_limit_stalls",
+                     "fetchable_context_sum"):
+            registry.derive(f"core.{name}",
+                            lambda s=stats, n=name: getattr(s, n))
+        self.branch_unit.register_probes(registry)
 
     # -- top level -----------------------------------------------------------
 
@@ -154,10 +170,16 @@ class Processor:
         # buffered-but-never-admitted instruction is replayed but was never
         # fetched into the pipeline, so it does not count.
         self.stats.squashed += len(replay)
+        if self.events is not None and replay:
+            self.events.emit(now, "pipeline", "squash", ctx=ctx.index,
+                             service=branch.service,
+                             args={"count": len(replay)})
         if ctx.fetch_buffer is not None:
             victim = ctx.fetch_buffer
             victim.state = ST_SQUASHED
             victim.completion = -1
+            if self.tracer is not None:
+                self.tracer.record(now, "Q", ctx.index, victim)
             replay.append(victim)
             ctx.fetch_buffer = None
         if replay:
@@ -398,6 +420,13 @@ class Processor:
             self.int_count += 1
         ctx.queued += 1
         self.inflight += 1
+        if self.events is not None and instr.service != ctx.current_service:
+            # Per-context service-occupancy spans: close the old service's
+            # span and open the new one (exported as one track per ctx).
+            self.events.emit(now, "pipeline", ctx.current_service, "E",
+                             ctx=ctx.index, service=ctx.current_service)
+            self.events.emit(now, "pipeline", instr.service, "B",
+                             ctx=ctx.index, service=instr.service)
         ctx.current_service = instr.service
         if self.tracer is not None:
             self.tracer.record(now, "F", ctx.index, instr)

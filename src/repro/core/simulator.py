@@ -112,7 +112,14 @@ class Simulation:
             spin_policy=spin_policy,
         )
         rng = random.Random(seed)
-        self.hierarchy = MemoryHierarchy(self.machine.memory)
+        # One probe registry per machine: every subsystem registers its
+        # counters under a common tree (mem.* / branch.* / os.* / core.*)
+        # that analysis snapshots fold into the run artifact.
+        from repro.obs.registry import ProbeRegistry
+
+        self.obs = ProbeRegistry()
+        self.hierarchy = MemoryHierarchy(self.machine.memory,
+                                         registry=self.obs)
         self.hierarchy.omit_kernel_refs = omit_kernel_refs
         self.os = MiniDUX(
             self.hierarchy,
@@ -124,32 +131,63 @@ class Simulation:
             seed=seed,
             tlb_flush_on_switch=tlb_flush_on_switch,
             spin_policy=spin_policy,
+            registry=self.obs,
         )
         self.stats = SimStats(self.machine.cpu.n_contexts, timeline_interval)
         self.processor = Processor(
-            self.machine.cpu, self.os.streams, self.hierarchy, self.stats, rng)
+            self.machine.cpu, self.os.streams, self.hierarchy, self.stats,
+            rng, registry=self.obs)
         # Context switches invalidate the per-context return stacks.
         self.os.switch_listeners.append(self.processor.branch_unit.clear_context)
         workload.setup(self.os, self.hierarchy, random.Random(seed + 7919))
         self._now = 0
+        self.events = None
+
+    def attach_events(self, bus) -> None:
+        """Wire one :class:`~repro.obs.events.EventBus` through every layer.
+
+        Until this is called (the default), producers see ``None`` and
+        event emission costs nothing.
+        """
+        self.events = bus
+        self.processor.events = bus
+        self.hierarchy.events = bus
+        self.os.events = bus
 
     def run(
         self,
         max_instructions: int = 300_000,
         max_cycles: int | None = None,
+        profiler=None,
     ) -> SimResult:
-        """Run until *max_instructions* retire (or *max_cycles* elapse)."""
+        """Run until *max_instructions* retire (or *max_cycles* elapse).
+
+        With *profiler* (a :class:`~repro.obs.profile.ScopeProfiler`),
+        each step is charged to ``os.tick`` / ``core.cycle`` scopes; the
+        unprofiled loop is untouched.
+        """
         os_tick = self.os.tick
         cycle = self.processor.cycle
         stats = self.stats
         tick_interval = self.tick_interval
         now = self._now
         limit_cycles = max_cycles if max_cycles is not None else (1 << 62)
-        while stats.retired < max_instructions and now < limit_cycles:
-            if now % tick_interval == 0:
-                os_tick(now)
-            cycle(now)
-            now += 1
+        if profiler is not None:
+            tick_scope = profiler("os.tick")
+            cycle_scope = profiler("core.cycle")
+            while stats.retired < max_instructions and now < limit_cycles:
+                if now % tick_interval == 0:
+                    with tick_scope:
+                        os_tick(now)
+                with cycle_scope:
+                    cycle(now)
+                now += 1
+        else:
+            while stats.retired < max_instructions and now < limit_cycles:
+                if now % tick_interval == 0:
+                    os_tick(now)
+                cycle(now)
+                now += 1
         self._now = now
         return SimResult(
             machine=self.machine,

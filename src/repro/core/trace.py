@@ -12,8 +12,9 @@ Tracing costs one attribute check per event when disabled, so the default
 
 from __future__ import annotations
 
+import json
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.isa.instruction import Instruction
 
@@ -36,6 +37,9 @@ class TraceEvent:
     def format(self) -> str:
         return (f"{self.cycle:>10d} {self.kind} ctx{self.ctx} "
                 f"{self.pc:#014x} {self.itype:<14s} {self.service}")
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
 
 
 class TraceRecorder:
@@ -96,6 +100,18 @@ class TraceRecorder:
             events = events[-limit:]
         header = f"{'cycle':>10s} K ctx  {'pc':<14s} {'type':<14s} service"
         return "\n".join([header] + [e.format() for e in events])
+
+    def to_jsonl(self, limit: int | None = None) -> str:
+        """Render the (tail of the) trace as one JSON object per line.
+
+        Machine-readable counterpart of :meth:`dump`; field names match
+        :class:`TraceEvent` so lines can be loaded back losslessly.
+        """
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
+        return "\n".join(
+            json.dumps(e.to_json_dict(), sort_keys=True) for e in events)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -36,6 +36,11 @@ class Bus:
         self.total_wait += wait
         return wait + self.latency
 
+    def register_probes(self, registry, prefix: str) -> None:
+        """Expose transaction/wait counters as derived registry probes."""
+        registry.derive(f"{prefix}.transactions", lambda: self.transactions)
+        registry.derive(f"{prefix}.wait_cycles", lambda: self.total_wait)
+
     @property
     def mean_wait(self) -> float:
         """Average queueing delay per transaction, in cycles."""

@@ -180,6 +180,16 @@ class Cache:
             return True
         return False
 
+    # -- observability -----------------------------------------------------
+
+    def register_probes(self, registry, prefix: str) -> None:
+        """Expose this cache's counters in a probe registry (derived
+        probes only: the access hot path is untouched)."""
+        from repro.obs.registry import register_miss_stats
+
+        register_miss_stats(registry, prefix, self.stats)
+        registry.derive(f"{prefix}.flushes", lambda: self.flushes)
+
     # -- introspection -----------------------------------------------------
 
     @property

@@ -75,9 +75,16 @@ class AccessResult:
 
 
 class MemoryHierarchy:
-    """L1 I/D + unified L2 + memory, with TLBs, MSHRs and buses."""
+    """L1 I/D + unified L2 + memory, with TLBs, MSHRs and buses.
 
-    def __init__(self, config: MemoryConfig | None = None) -> None:
+    ``registry`` (a :class:`~repro.obs.registry.ProbeRegistry`) exposes
+    every structure's counters under ``mem.*`` as snapshot-time derived
+    probes; ``events`` (an :class:`~repro.obs.events.EventBus`, default
+    ``None``) receives one ``cache`` event per L1/L2 miss.
+    """
+
+    def __init__(self, config: MemoryConfig | None = None,
+                 registry=None) -> None:
         cfg = config or MemoryConfig()
         self.config = cfg
         self.l1i = Cache("L1I", cfg.l1i_size, cfg.l1i_assoc, cfg.line_size)
@@ -97,6 +104,25 @@ class MemoryHierarchy:
         #: When True, kernel/PAL references bypass (and do not perturb) the
         #: caches -- the paper's Table 9 "Apache only" measurement mode.
         self.omit_kernel_refs = False
+        #: Optional EventBus receiving cache-miss events; None = no events.
+        self.events = None
+        if registry is not None:
+            self.register_probes(registry)
+
+    def register_probes(self, registry) -> None:
+        """Register the memory layer's probe subtree (``mem.*``)."""
+        self.l1i.register_probes(registry, "mem.l1i")
+        self.l1d.register_probes(registry, "mem.l1d")
+        self.l2.register_probes(registry, "mem.l2")
+        self.itlb.register_probes(registry, "mem.itlb")
+        self.dtlb.register_probes(registry, "mem.dtlb")
+        self.l1i_mshr.register_probes(registry, "mem.mshr.l1i")
+        self.l1d_mshr.register_probes(registry, "mem.mshr.l1d")
+        self.l2_mshr.register_probes(registry, "mem.mshr.l2")
+        self.l1l2_bus.register_probes(registry, "mem.bus.l1l2")
+        self.mem_bus.register_probes(registry, "mem.bus.mem")
+        registry.derive("mem.store_buffer.full_stalls",
+                        lambda: self.store_buffer.full_stalls)
 
     # -- data side -----------------------------------------------------------
 
@@ -123,11 +149,15 @@ class MemoryHierarchy:
         queue_delay = start - now
         if self.l1d.access(addr, tid, kind, write):
             return AccessResult(queue_delay + cfg.l1_hit_latency, True, True)
+        if self.events is not None:
+            self.events.emit(now, "cache", "l1d_miss", tid=tid)
         miss_start = self.l1d_mshr.acquire(start, cfg.l2_latency + cfg.l1l2_bus_latency)
         latency = (miss_start - now) + cfg.l1_fill_penalty
         latency += self.l1l2_bus.request(miss_start)
         if self.l2.access(addr, tid, kind, write):
             return AccessResult(latency + cfg.l2_latency, False, True)
+        if self.events is not None:
+            self.events.emit(now, "cache", "l2_miss", tid=tid)
         l2_start = self.l2_mshr.acquire(miss_start, cfg.mem_latency + cfg.mem_bus_latency)
         latency += (l2_start - miss_start) + cfg.l2_latency
         latency += self.mem_bus.request(l2_start)
@@ -147,6 +177,8 @@ class MemoryHierarchy:
             return AccessResult(0, True, True)
         if self.l1i.access(addr, tid, kind):
             return AccessResult(0, True, True)
+        if self.events is not None:
+            self.events.emit(now, "cache", "l1i_miss", tid=tid)
         miss_start = self.l1i_mshr.acquire(now, cfg.l2_latency + cfg.l1l2_bus_latency)
         latency = (miss_start - now) + cfg.l1_fill_penalty
         latency += self.l1l2_bus.request(miss_start)

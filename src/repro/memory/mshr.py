@@ -67,6 +67,11 @@ class MSHRFile:
             self._occupancy_integral += len(releases) * (t - self._last_time)
             self._last_time = t
 
+    def register_probes(self, registry, prefix: str) -> None:
+        """Expose allocation/stall counters as derived registry probes."""
+        registry.derive(f"{prefix}.allocations", lambda: self.allocations)
+        registry.derive(f"{prefix}.full_stalls", lambda: self.full_stalls)
+
     def outstanding(self, now: int) -> int:
         """Number of misses in flight at *now* (drains completed entries)."""
         self._advance(now)

@@ -135,6 +135,15 @@ class TLB:
             self.asn_flushes += 1
         return n
 
+    # -- observability -----------------------------------------------------
+
+    def register_probes(self, registry, prefix: str) -> None:
+        """Expose this TLB's counters as derived registry probes."""
+        from repro.obs.registry import register_miss_stats
+
+        register_miss_stats(registry, prefix, self.stats)
+        registry.derive(f"{prefix}.asn_flushes", lambda: self.asn_flushes)
+
     @property
     def occupancy(self) -> int:
         """Number of valid entries."""

@@ -1,0 +1,42 @@
+"""Unified observability layer.
+
+Three cooperating pieces, all optional and all cheap when unused:
+
+* :mod:`repro.obs.registry` -- a hierarchical probe/counter registry.
+  Components register named counters and histograms once
+  (``mem.l1d.miss.interthread``, ``os.syscall.read.count``, ...) and bump
+  them cheaply; the registry snapshots into one flat, queryable tree that
+  is folded into every :class:`~repro.analysis.artifact.RunArtifact`.
+* :mod:`repro.obs.events` -- a typed structured-event bus shared by all
+  layers (pipeline service occupancy, cache misses, TLB fills, syscall
+  enter/exit, interrupts, scheduler dispatch) with one bounded recorder.
+  :mod:`repro.obs.export` renders a recording as JSONL or Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+* :mod:`repro.obs.profile` -- a host-wall-clock scope profiler showing
+  where simulator (Python) time goes per simulated component.
+
+See ``docs/observability.md`` for the probe naming scheme and a worked
+example.
+"""
+
+from repro.obs.events import EventBus, SimEvent
+from repro.obs.profile import ScopeProfiler, profile_simulation
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    CounterGroup,
+    Histogram,
+    ProbeRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "CounterGroup",
+    "EventBus",
+    "Histogram",
+    "NULL_REGISTRY",
+    "ProbeRegistry",
+    "ScopeProfiler",
+    "SimEvent",
+    "profile_simulation",
+]

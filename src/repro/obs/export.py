@@ -1,0 +1,118 @@
+"""Event-recording exporters: JSONL and Chrome ``trace_event`` JSON.
+
+The Chrome exporter lays a recording out the way the paper reads a
+machine: process 0 ("hardware contexts") carries one track per hardware
+context showing what service each context is occupied by over time plus
+per-context instants (interrupt delivery, scheduler dispatch, squashes);
+process 1 ("kernel services") carries one track per kernel service with
+the syscall/kwork spans executed on behalf of any thread.  The output is
+the stable JSON-object form of the trace-event format, so ``repro trace
+--out trace.json`` opens directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  One simulated cycle maps to one microsecond of
+trace time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.obs.events import BEGIN, END, SimEvent
+
+#: Synthetic pids of the two exported processes.
+PID_CONTEXTS = 0
+PID_SERVICES = 1
+
+
+def to_jsonl(events: Iterable[SimEvent]) -> str:
+    """One compact JSON object per line, in recording order."""
+    return "\n".join(
+        json.dumps(e.to_json_dict(), sort_keys=True, separators=(",", ":"))
+        for e in events)
+
+
+def _metadata(pid: int, process_name: str,
+              threads: dict[int, str]) -> list[dict]:
+    out = [{"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": process_name}}]
+    for tid, name in sorted(threads.items()):
+        out.append({"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                    "args": {"name": name}})
+    return out
+
+
+def to_chrome_trace(events: Iterable[SimEvent],
+                    n_contexts: int | None = None) -> dict:
+    """Render a recording as a Chrome ``trace_event`` JSON object.
+
+    Span events (phase ``B``/``E``) are paired per track into complete
+    (``X``) events -- Perfetto renders those robustly even when a span is
+    still open at the end of the recording (unmatched begins are emitted
+    as zero-duration spans).  Timestamps are emitted in ascending order.
+    """
+    ctx_tids: set[int] = set(range(n_contexts)) if n_contexts else set()
+    service_tids: dict[str, int] = {}
+    open_spans: dict[tuple[int, int], list[SimEvent]] = {}
+    trace: list[dict] = []
+
+    def service_tid(service: str) -> int:
+        tid = service_tids.get(service)
+        if tid is None:
+            tid = service_tids[service] = len(service_tids)
+        return tid
+
+    def track_of(event: SimEvent) -> tuple[int, int]:
+        if event.ctx is not None:
+            ctx_tids.add(event.ctx)
+            return PID_CONTEXTS, event.ctx
+        return PID_SERVICES, service_tid(event.service or event.name)
+
+    def emit_span(pid: int, tid: int, begin: SimEvent, end_ts: int) -> None:
+        trace.append({
+            "ph": "X", "pid": pid, "tid": tid, "ts": begin.ts,
+            "dur": max(0, end_ts - begin.ts), "name": begin.name,
+            "cat": begin.kind, "args": begin.args or {},
+        })
+
+    last_ts = 0
+    for event in sorted(events, key=lambda e: e.ts):
+        last_ts = event.ts
+        pid, tid = track_of(event)
+        if event.phase == BEGIN:
+            open_spans.setdefault((pid, tid), []).append(event)
+        elif event.phase == END:
+            stack = open_spans.get((pid, tid))
+            if stack:
+                emit_span(pid, tid, stack.pop(), event.ts)
+            # An end without a begin (span opened before recording
+            # started) carries no start point; drop it.
+        else:
+            trace.append({
+                "ph": "i", "s": "t", "pid": pid, "tid": tid, "ts": event.ts,
+                "name": event.name, "cat": event.kind,
+                "args": event.args or {},
+            })
+    for (pid, tid), stack in open_spans.items():
+        for begin in stack:
+            emit_span(pid, tid, begin, last_ts)
+
+    trace.sort(key=lambda e: e["ts"])
+    meta = _metadata(PID_CONTEXTS, "hardware contexts",
+                     {tid: f"ctx{tid}" for tid in sorted(ctx_tids)})
+    meta += _metadata(PID_SERVICES, "kernel services",
+                      {tid: name for name, tid in service_tids.items()})
+    return {
+        "traceEvents": meta + trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1 trace us = 1 simulated cycle"},
+    }
+
+
+def write_chrome_trace(path, events: Iterable[SimEvent],
+                       n_contexts: int | None = None) -> dict:
+    """Write the Chrome trace JSON to *path*; returns the trace object."""
+    payload = to_chrome_trace(events, n_contexts)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+        f.write("\n")
+    return payload

@@ -134,6 +134,7 @@ class MiniDUX:
         seed: int = 0,
         tlb_flush_on_switch: bool = False,
         spin_policy: str = "spin",
+        registry=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.n_contexts = n_contexts
@@ -190,13 +191,36 @@ class MiniDUX:
         #: from the coarse OS clock (updated every tick), so individual
         #: samples carry a few cycles of quantization.
         self.syscall_latency: dict[str, list[int]] = {}
-        self.counters = {
-            "dtlb_miss_events": 0,
-            "itlb_miss_events": 0,
-            "icache_flushes": 0,
-            "spin_instructions": 0,
-            "thread_spin_instructions": 0,
-        }
+        # The kernel's event counters live in the probe registry (one
+        # queryable tree, ``os.*``); the CounterGroup keeps the historical
+        # dict idiom (``counters["x"] += 1``) working for call sites and
+        # analysis code.  Without a registry they fall back to private
+        # counters, so direct MiniDUX construction still counts.
+        from repro.obs.registry import CounterGroup, NULL_REGISTRY
+
+        obs = registry if registry is not None else NULL_REGISTRY
+        self.obs = obs
+        self.counters = CounterGroup(obs, "os", (
+            "dtlb_miss_events",
+            "itlb_miss_events",
+            "icache_flushes",
+            "spin_instructions",
+            "thread_spin_instructions",
+        ))
+        # Direct counter handles for the spin loop (bumped per spin
+        # instruction -- the mapping facade is too slow there).
+        self.spin_counter = self.counters.raw("spin_instructions")
+        self.thread_spin_counter = self.counters.raw("thread_spin_instructions")
+        #: Wall-clock (cycle) latency distribution over completed syscalls.
+        self.syscall_hist = obs.histogram("os.syscall_latency_cycles")
+        obs.derive_map("os.syscall", self._syscall_probe_map)
+        obs.derive_map("os.lock", self._lock_probe_map)
+        obs.derive_map("os.vm.incursion", lambda: dict(self.vm.incursions))
+        obs.derive("os.sched.switches", lambda: self.scheduler.switches)
+        obs.derive("os.sched.asn_recycles",
+                   lambda: self.scheduler.asn_recycles)
+        #: Optional EventBus (see repro.obs.events); None = no events.
+        self.events = None
         #: Core-registered listeners called with (ctx,) on context switch.
         self.switch_listeners: list[Callable[[int], None]] = []
         #: Wired by the network layer: called with each transmitted packet.
@@ -353,6 +377,27 @@ class MiniDUX:
             n += 1
         return n
 
+    # -- observability -----------------------------------------------------------
+
+    def _syscall_probe_map(self) -> dict:
+        """Per-syscall probe family: ``os.syscall.<name>.{count,cycles}``."""
+        out = {}
+        for name, count in self.syscall_counts.items():
+            out[f"{name}.count"] = count
+        for name, (completions, cycles) in self.syscall_latency.items():
+            out[f"{name}.completions"] = completions
+            out[f"{name}.cycles"] = cycles
+        return out
+
+    def _lock_probe_map(self) -> dict:
+        """Per-lock probe family: ``os.lock.<name>.{acquisitions,contentions}``."""
+        out = {}
+        for name, n in self.locks.acquisitions.items():
+            out[f"{name}.acquisitions"] = n
+        for name, n in self.locks.contentions.items():
+            out[f"{name}.contentions"] = n
+        return out
+
     # -- cost helper -------------------------------------------------------------
 
     def _cost(self, mean: float, spread: float) -> int:
@@ -409,6 +454,9 @@ class MiniDUX:
         dispatched_at = self.now
         full = self.mode is OSMode.FULL
         svc = f"syscall:{spec.name}"
+        if self.events is not None:
+            self.events.emit(dispatched_at, "syscall", spec.name, "B",
+                             tid=thread.tid, service=svc)
         frames: list[Frame] = []
 
         if full:
@@ -483,8 +531,13 @@ class MiniDUX:
 
         def complete(name=spec.name, started=dispatched_at, on_done=on_done):
             record = self.syscall_latency.setdefault(name, [0, 0])
+            latency = max(0, self.now - started)
             record[0] += 1
-            record[1] += max(0, self.now - started)
+            record[1] += latency
+            self.syscall_hist.observe(latency)
+            if self.events is not None:
+                self.events.emit(self.now, "syscall", name, "E",
+                                 tid=thread.tid, service=f"syscall:{name}")
             if on_done is not None:
                 on_done()
 
@@ -530,6 +583,9 @@ class MiniDUX:
         "traps complete instantly with no effect on hardware state").
         """
         self.counters["dtlb_miss_events"] += 1
+        if self.events is not None:
+            self.events.emit(self.now, "tlb", "dtlb_refill", tid=thread.tid,
+                             service="tlb:refill")
         kind = mode_kind(instr.mode)
         if self.mode is not OSMode.FULL or thread.trap_depth >= 1:
             # Application-only mode, or a miss taken *inside* a refill
@@ -585,6 +641,9 @@ class MiniDUX:
     def handle_itlb_miss(self, thread: SoftwareThread, instr, vpn: int, asn: int) -> bool:
         """Splice the (PAL-only) ITLB refill; True when *instr* was deferred."""
         self.counters["itlb_miss_events"] += 1
+        if self.events is not None:
+            self.events.emit(self.now, "tlb", "itlb_refill", tid=thread.tid,
+                             service="tlb:refill")
         kind = mode_kind(instr.mode)
         if self.mode is not OSMode.FULL or thread.trap_depth >= 1:
             self.hierarchy.itlb.fill(vpn, asn, thread.tid, kind)
@@ -620,6 +679,9 @@ class MiniDUX:
         cpu = self.cpu_threads[ctx]
         if len(cpu.frames) > 24:
             return False
+        if self.events is not None:
+            self.events.emit(self.now, "interrupt", request.label, ctx=ctx,
+                             tid=cpu.tid)
         cpu.push_frames([
             Frame(cpu.pal_walker, self._cost(14, 3), "pal:intr", "intr",
                   transfer=InstrType.PAL_CALL),
@@ -644,6 +706,9 @@ class MiniDUX:
     # -- context switching --------------------------------------------------------
 
     def _on_switch(self, ctx: int, old: SoftwareThread | None, new: SoftwareThread) -> None:
+        if self.events is not None:
+            self.events.emit(self.now, "sched", f"dispatch:{new.name}",
+                             ctx=ctx, tid=new.tid)
         if self.tlb_flush_on_switch and old is not None and old.process is not new.process:
             self.hierarchy.dtlb.flush_all()
             self.hierarchy.itlb.flush_all()

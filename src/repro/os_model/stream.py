@@ -171,9 +171,9 @@ class ContextStream:
     def _spin_instruction(self, thread: SoftwareThread, lock_name: str) -> Instruction:
         """One beat of a spin loop: LDx_L/BXX pairs on the lock word."""
         os = self.os
-        os.counters["spin_instructions"] += 1
+        os.spin_counter.add()
         if thread.behavior is not None:
-            os.counters["thread_spin_instructions"] += 1
+            os.thread_spin_counter.add()
         seg = os.kernel_text.segments["spinlock"]
         lock_index = os.locks.DEFAULT_LOCKS.index(lock_name)
         pc = os.kernel_text.block_pc[seg.start] + lock_index * 16

@@ -69,6 +69,31 @@ def test_window_accessor(small_artifact):
         small_artifact.window("warmup")
 
 
+# -- probe snapshots inside artifacts (observability layer) ---------------
+
+
+def test_artifact_windows_carry_probe_tree(small_artifact):
+    for window in ("startup", "steady", "total"):
+        probes = small_artifact.window(window).get("probes")
+        assert isinstance(probes, dict) and probes, window
+    probes = small_artifact.total["probes"]
+    layers = {name.split(".", 1)[0] for name in probes}
+    assert {"mem", "branch", "os", "core"} <= layers
+    assert len(probes) >= 30
+    assert probes["core.retired"] == small_artifact.total["retired"]
+
+
+def test_probe_snapshot_byte_identical_store_vs_fresh(tmp_path, small_artifact):
+    store = RunStore(tmp_path)
+    store.put(small_artifact)
+    stored = store.get(small_artifact.fingerprint)
+    for window in ("startup", "steady", "total"):
+        fresh = json.dumps(small_artifact.window(window)["probes"],
+                           sort_keys=True)
+        disk = json.dumps(stored.window(window)["probes"], sort_keys=True)
+        assert fresh == disk
+
+
 # -- fingerprint coverage (satellite 2: memo key covers every knob) -------
 
 
@@ -168,6 +193,24 @@ def test_store_treats_corrupt_file_as_miss(tmp_path, small_artifact):
     path.write_text("{ corrupted")
     assert store.get(small_artifact.fingerprint) is None
     assert store.entries() == []
+
+
+def test_store_entries_report_schema_and_created(tmp_path, small_artifact):
+    store = RunStore(tmp_path)
+    store.put(small_artifact)
+    entry = store.entries()[0]
+    assert entry.schema_version == artifact_mod.SCHEMA_VERSION
+    assert "T" in entry.created  # ISO-8601 timestamp
+    # A stale-schema file is still listed (diagnosable via cache ls)
+    # even though get() treats it as a miss.
+    payload = small_artifact.to_json_dict()
+    payload["schema_version"] = 1
+    payload["fingerprint"] = "f" * 64
+    (tmp_path / "old-run-ffffffffffffffffffff.json").write_text(
+        json.dumps(payload))
+    versions = sorted(e.schema_version for e in store.entries())
+    assert versions == [1, artifact_mod.SCHEMA_VERSION]
+    assert store.get("f" * 64) is None
 
 
 def test_store_entries_and_clear(tmp_path, small_artifact):

@@ -70,6 +70,55 @@ def test_cli_compare_runs(capsys):
     assert "shape criteria hold" in out
 
 
+def test_cli_counters_prints_probe_tree(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["counters", "specint"]) == 0
+    out = capsys.readouterr().out
+    assert "mem.l1d.accesses.user" in out
+    assert "os.sched.switches" in out
+    assert "probe(s)" in out
+
+
+def test_cli_counters_grep_filters(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["counters", "specint", "--grep", "branch.",
+                     "--window", "steady"]) == 0
+    out = capsys.readouterr().out
+    names = [line.split()[0] for line in out.splitlines()
+             if line.startswith("  ")]
+    assert names and all(n.startswith("branch.") for n in names)
+
+    assert cli.main(["counters", "specint", "--grep", "nosuch."]) == 1
+    assert "no probes match" in capsys.readouterr().out
+
+
+def test_cli_trace_writes_chrome_json(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "trace.json"
+    assert cli.main(["trace", "specint", "--instructions", "20000",
+                     "--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["traceEvents"]
+
+    jsonl_path = tmp_path / "trace.jsonl"
+    assert cli.main(["trace", "specint", "--instructions", "20000",
+                     "--out", str(jsonl_path), "--jsonl"]) == 0
+    capsys.readouterr()
+    first = json.loads(jsonl_path.read_text().splitlines()[0])
+    assert {"ts", "kind", "name"} <= set(first)
+
+
+def test_cli_profile_prints_table(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["profile", "specint", "--instructions", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "core.fetch" in out
+    assert "self %" in out
+
+
 def test_cli_prefetch_and_cache_lifecycle(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     monkeypatch.setenv("REPRO_BUDGET_MULT", "0.005")
@@ -86,6 +135,9 @@ def test_cli_prefetch_and_cache_lifecycle(tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "apache-smt-full" in out
     assert "8 stored run(s)" in out
+    from repro.analysis.artifact import SCHEMA_VERSION
+    assert f"v{SCHEMA_VERSION} " in out  # per-entry schema version
+    assert "stale" not in out
 
     # A second prefetch is store-served: no simulation may run.
     experiments.clear_cache()

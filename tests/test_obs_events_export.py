@@ -1,0 +1,180 @@
+"""Tests for the event bus, trace exporters, and the self-profiler."""
+
+import json
+
+import pytest
+
+from repro.core.simulator import Simulation
+from repro.obs.events import BEGIN, END, EventBus, SimEvent
+from repro.obs.export import (
+    PID_CONTEXTS,
+    PID_SERVICES,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.profile import ScopeProfiler, profile_simulation
+from repro.workloads.specint import SpecIntWorkload
+
+
+# -- event bus --------------------------------------------------------------
+
+def test_bus_records_and_counts():
+    bus = EventBus(capacity=10)
+    bus.emit(5, "cache", "l1d_miss", tid=1)
+    bus.emit(9, "syscall", "read", phase=BEGIN, service="syscall:read")
+    assert len(bus) == 2
+    assert bus.counts() == {"cache": 1, "syscall": 1}
+    assert [e.name for e in bus.by_kind("cache")] == ["l1d_miss"]
+    assert [e.ts for e in bus.window(6, 10)] == [9]
+
+
+def test_bus_ring_drops_oldest():
+    bus = EventBus(capacity=3)
+    for i in range(5):
+        bus.emit(i, "pipeline", "squash")
+    assert len(bus) == 3
+    assert bus.dropped == 2
+    assert bus.recorded == 5
+    assert bus.events[0].ts == 2
+
+
+def test_bus_kind_filter():
+    bus = EventBus(kinds=("syscall",))
+    bus.emit(0, "cache", "l1d_miss")
+    bus.emit(1, "syscall", "read")
+    assert [e.kind for e in bus.events] == ["syscall"]
+
+
+def test_bus_capacity_validation():
+    with pytest.raises(ValueError):
+        EventBus(capacity=0)
+
+
+# -- exporters --------------------------------------------------------------
+
+def _sample_events():
+    return [
+        SimEvent(10, "pipeline", "syscall:read", BEGIN, ctx=0),
+        SimEvent(12, "cache", "l2_miss", ctx=1, tid=3),
+        SimEvent(30, "pipeline", "syscall:read", END, ctx=0),
+        SimEvent(40, "syscall", "read", BEGIN, service="syscall:read"),
+        SimEvent(55, "syscall", "read", END, service="syscall:read"),
+        SimEvent(60, "interrupt", "timer", ctx=2),
+    ]
+
+
+def test_jsonl_is_one_object_per_line():
+    lines = to_jsonl(_sample_events()).splitlines()
+    assert len(lines) == 6
+    first = json.loads(lines[0])
+    assert first == {"ts": 10, "kind": "pipeline", "name": "syscall:read",
+                     "phase": "B", "ctx": 0}
+
+
+def test_chrome_trace_is_valid_json_with_monotonic_timestamps():
+    payload = to_chrome_trace(_sample_events(), n_contexts=4)
+    text = json.dumps(payload)
+    reloaded = json.loads(text)
+    stamps = [e["ts"] for e in reloaded["traceEvents"] if "ts" in e]
+    assert stamps == sorted(stamps)
+    assert reloaded["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_one_track_per_context_and_service():
+    payload = to_chrome_trace(_sample_events(), n_contexts=4)
+    events = payload["traceEvents"]
+    thread_meta = [e for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+    ctx_tracks = {(e["pid"], e["tid"]): e["args"]["name"]
+                  for e in thread_meta if e["pid"] == PID_CONTEXTS}
+    assert ctx_tracks == {(PID_CONTEXTS, i): f"ctx{i}" for i in range(4)}
+    svc_tracks = {e["args"]["name"] for e in thread_meta
+                  if e["pid"] == PID_SERVICES}
+    assert "syscall:read" in svc_tracks
+    # every non-metadata event sits on a declared track
+    declared = {(e["pid"], e["tid"]) for e in thread_meta}
+    used = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+    assert used <= declared
+
+
+def test_chrome_trace_pairs_spans_into_complete_events():
+    payload = to_chrome_trace(_sample_events(), n_contexts=4)
+    spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    by_name = {(e["pid"], e["name"]): e for e in spans}
+    ctx_span = by_name[(PID_CONTEXTS, "syscall:read")]
+    assert (ctx_span["ts"], ctx_span["dur"]) == (10, 20)
+    svc_span = by_name[(PID_SERVICES, "read")]
+    assert (svc_span["ts"], svc_span["dur"]) == (40, 15)
+
+
+def test_chrome_trace_closes_unmatched_begins():
+    events = [SimEvent(5, "syscall", "read", BEGIN, service="syscall:read"),
+              SimEvent(50, "cache", "l1d_miss", ctx=0)]
+    payload = to_chrome_trace(events)
+    spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["ts"] == 5 and spans[0]["dur"] == 45
+
+
+def test_chrome_trace_drops_end_without_begin():
+    payload = to_chrome_trace([SimEvent(5, "syscall", "read", END,
+                                        service="syscall:read")])
+    assert [e for e in payload["traceEvents"] if e["ph"] == "X"] == []
+
+
+def test_write_chrome_trace_to_disk(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, _sample_events(), n_contexts=4)
+    reloaded = json.loads(path.read_text())
+    assert {"traceEvents", "displayTimeUnit", "otherData"} <= set(reloaded)
+
+
+# -- simulation wiring ------------------------------------------------------
+
+def test_simulation_emits_events_across_layers():
+    sim = Simulation(SpecIntWorkload(), seed=55)
+    bus = EventBus()
+    sim.attach_events(bus)
+    sim.run(max_instructions=20_000)
+    kinds = set(bus.counts())
+    assert {"pipeline", "cache", "tlb", "sched"} <= kinds
+    payload = to_chrome_trace(bus.events,
+                              n_contexts=sim.machine.cpu.n_contexts)
+    stamps = [e["ts"] for e in payload["traceEvents"] if "ts" in e]
+    assert stamps == sorted(stamps)
+    assert len(stamps) > 0
+
+
+def test_unattached_simulation_has_no_bus():
+    sim = Simulation(SpecIntWorkload(), seed=55)
+    assert sim.events is None
+    assert sim.processor.events is None
+    assert sim.hierarchy.events is None
+    assert sim.os.events is None
+
+
+# -- self-profiler ----------------------------------------------------------
+
+def test_profiler_nesting_charges_self_time():
+    prof = ScopeProfiler()
+    with prof("outer"):
+        with prof("inner"):
+            pass
+    rows = {r["scope"]: r for r in prof.report()}
+    assert rows["outer"]["calls"] == 1
+    assert rows["inner"]["calls"] == 1
+    assert rows["outer"]["self_s"] <= rows["outer"]["total_s"]
+    assert "outer" in prof.render()
+
+
+def test_profile_simulation_restores_instance_methods():
+    sim = Simulation(SpecIntWorkload(), seed=55)
+    prof = profile_simulation(sim, max_instructions=5_000)
+    scopes = {r["scope"] for r in prof.report()}
+    assert {"sim.run", "core.cycle", "core.fetch",
+            "mem.data_access"} <= scopes
+    # shadowing was per-instance and is fully undone
+    assert "data_access" not in vars(sim.hierarchy)
+    assert "_fetch" not in vars(sim.processor)
+    assert sim.stats.retired >= 5_000

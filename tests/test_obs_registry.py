@@ -1,0 +1,176 @@
+"""Tests for the hierarchical probe registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_REGISTRY,
+    Counter,
+    CounterGroup,
+    Histogram,
+    ProbeRegistry,
+    register_miss_stats,
+)
+
+
+# -- counters ---------------------------------------------------------------
+
+def test_counter_register_bump_snapshot_round_trip():
+    reg = ProbeRegistry()
+    c = reg.counter("os.syscall.read.count")
+    c.add()
+    c.add(4)
+    c.inc()
+    assert reg.snapshot() == {"os.syscall.read.count": 6}
+
+
+def test_counter_registration_is_idempotent():
+    reg = ProbeRegistry()
+    a = reg.counter("mem.l1d.flushes")
+    b = reg.counter("mem.l1d.flushes")
+    assert a is b
+    a.add()
+    assert reg.snapshot()["mem.l1d.flushes"] == 1
+
+
+def test_invalid_names_rejected():
+    reg = ProbeRegistry()
+    for bad in ("", "Mem.l1d", "mem..l1d", ".mem", "mem l1d"):
+        with pytest.raises(ValueError):
+            reg.counter(bad)
+
+
+def test_cross_flavor_duplicate_rejected():
+    reg = ProbeRegistry()
+    reg.counter("os.ticks")
+    with pytest.raises(ValueError):
+        reg.derive("os.ticks", lambda: 0)
+    with pytest.raises(ValueError):
+        reg.histogram("os.ticks")
+
+
+# -- disabled mode ----------------------------------------------------------
+
+def test_disabled_registry_hands_out_shared_null_counter():
+    reg = ProbeRegistry(enabled=False)
+    a = reg.counter("mem.l1d.flushes")
+    b = reg.counter("os.syscall.read.count")
+    assert a is b is NULL_COUNTER
+    a.add(1000)
+    assert NULL_COUNTER.value == 0
+    assert reg.snapshot() == {}
+    assert len(reg) == 0
+
+
+def test_disabled_registry_drops_derived_probes():
+    calls = []
+    NULL_REGISTRY.derive("mem.l1d.accesses", lambda: calls.append(1) or 1)
+    NULL_REGISTRY.derive_map("os.syscall", lambda: {"read.count": 1})
+    assert NULL_REGISTRY.snapshot() == {}
+    assert calls == []  # never evaluated
+
+
+# -- derived probes ---------------------------------------------------------
+
+def test_derived_probe_evaluated_at_snapshot_time():
+    reg = ProbeRegistry()
+    box = {"hits": 0}
+    reg.derive("mem.l2.hits", lambda: box["hits"])
+    assert reg.snapshot()["mem.l2.hits"] == 0
+    box["hits"] = 7
+    assert reg.snapshot()["mem.l2.hits"] == 7
+
+
+def test_derive_map_expands_dynamic_keys():
+    reg = ProbeRegistry()
+    counts = {}
+    reg.derive_map("os.syscall", lambda: {f"{n}.count": v
+                                          for n, v in counts.items()})
+    assert reg.snapshot() == {}
+    counts["read"] = 3
+    counts["write"] = 1
+    snap = reg.snapshot()
+    assert snap["os.syscall.read.count"] == 3
+    assert snap["os.syscall.write.count"] == 1
+    with pytest.raises(ValueError):
+        reg.derive_map("os.syscall", lambda: {})
+
+
+def test_snapshot_prefix_filter_and_sorted_keys():
+    reg = ProbeRegistry()
+    reg.counter("mem.l1d.flushes").add()
+    reg.counter("branch.cond.predictions").add(2)
+    reg.derive("mem.l2.hits", lambda: 5)
+    snap = reg.snapshot()
+    assert list(snap) == sorted(snap)
+    assert set(reg.snapshot(prefix="mem.")) == {"mem.l1d.flushes",
+                                                "mem.l2.hits"}
+    assert reg.names() == sorted(snap)
+
+
+# -- histograms -------------------------------------------------------------
+
+def test_histogram_buckets_and_overflow():
+    h = Histogram("os.syscall_latency_cycles", bounds=(10, 100))
+    for v in (1, 10, 11, 100, 5000):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == 5122
+    assert snap["buckets"] == [2, 2, 1]  # <=10, <=100, overflow
+
+
+def test_histogram_bounds_must_ascend():
+    with pytest.raises(ValueError):
+        Histogram("x", bounds=(10, 5))
+    with pytest.raises(ValueError):
+        Histogram("x", bounds=())
+
+
+def test_histogram_through_registry_snapshot():
+    reg = ProbeRegistry()
+    h = reg.histogram("os.syscall_latency_cycles", bounds=(10,))
+    h.observe(3)
+    snap = reg.snapshot()["os.syscall_latency_cycles"]
+    assert snap == {"count": 1, "sum": 3, "buckets": [1, 0]}
+
+
+# -- CounterGroup -----------------------------------------------------------
+
+def test_counter_group_preserves_dict_idiom():
+    reg = ProbeRegistry()
+    grp = CounterGroup(reg, "os", ("spin_instructions", "icache_flushes"))
+    grp["spin_instructions"] += 3
+    grp["icache_flushes"] = 2
+    assert dict(grp) == {"spin_instructions": 3, "icache_flushes": 2}
+    assert reg.snapshot()["os.spin_instructions"] == 3
+    with pytest.raises(KeyError):
+        grp["unknown"]
+    with pytest.raises(TypeError):
+        del grp["spin_instructions"]
+
+
+def test_counter_group_falls_back_when_registry_disabled():
+    grp = CounterGroup(ProbeRegistry(enabled=False), "os", ("ticks",))
+    grp["ticks"] += 5
+    assert grp["ticks"] == 5  # counts survive even without a registry
+
+
+# -- miss-stats bridge ------------------------------------------------------
+
+def test_register_miss_stats_exposes_live_structure():
+    from repro.memory.classify import MissStats
+
+    stats = MissStats()
+    reg = ProbeRegistry()
+    register_miss_stats(reg, "mem.l1d", stats)
+    assert reg.snapshot()["mem.l1d.accesses.user"] == 0
+    stats.accesses[0] += 9
+    stats.misses[1] += 2
+    snap = reg.snapshot()
+    assert snap["mem.l1d.accesses.user"] == 9
+    assert snap["mem.l1d.miss.kernel"] == 2
+
+
+def test_null_counter_is_a_counter():
+    assert isinstance(NULL_COUNTER, Counter)

@@ -1,5 +1,7 @@
 """Tests for the pipeline trace recorder."""
 
+import json
+
 import pytest
 
 from repro.core.simulator import Simulation
@@ -49,6 +51,27 @@ def test_service_filter():
     assert [e.service for e in tr.events] == ["syscall:read"]
 
 
+def test_service_filter_applies_to_squash():
+    tr = TraceRecorder(kinds=(SQUASH,), services=("syscall:",))
+    tr.record(0, SQUASH, 0, make_instr("user"))
+    tr.record(1, SQUASH, 0, make_instr("syscall:read"))
+    assert [e.service for e in tr.events] == ["syscall:read"]
+    assert all(e.kind == SQUASH for e in tr.events)
+
+
+def test_to_jsonl_round_trips():
+    tr = TraceRecorder()
+    tr.record(7, FETCH, 2, make_instr("user", pc=0xABC0))
+    tr.record(9, SQUASH, 1, make_instr("syscall:read"))
+    lines = tr.to_jsonl().splitlines()
+    assert len(lines) == 2
+    loaded = [json.loads(line) for line in lines]
+    assert loaded[0]["cycle"] == 7 and loaded[0]["kind"] == FETCH
+    assert loaded[1]["service"] == "syscall:read"
+    assert [TraceEvent(**d) for d in loaded] == list(tr.events)
+    assert tr.to_jsonl(limit=1).splitlines() == [lines[1]]
+
+
 def test_window_and_by_service():
     tr = TraceRecorder()
     for i in range(10):
@@ -69,6 +92,19 @@ def test_dump_renders_tail():
 def test_event_format_is_single_line():
     e = TraceEvent(12, RETIRE, 1, 0x4000, "syscall:read", "LOAD")
     assert "\n" not in e.format()
+
+
+def test_squash_trace_covers_fetch_buffer_victims():
+    # stats.squashed counts pipeline victims only; the trace additionally
+    # records the squashed fetch-buffer instruction, so the Q-event count
+    # can never undershoot the statistic.
+    sim = Simulation(SpecIntWorkload(), seed=55)
+    tracer = TraceRecorder(capacity=100_000, kinds=(SQUASH,))
+    sim.processor.tracer = tracer
+    sim.run(max_instructions=20_000)
+    assert sim.stats.squashed > 0
+    assert tracer.recorded >= sim.stats.squashed
+    assert all(e.kind == SQUASH for e in tracer.events)
 
 
 def test_tracer_wired_into_simulation():
