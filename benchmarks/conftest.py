@@ -9,7 +9,9 @@ artifacts.  A second benchmark session on the same configuration is
 therefore simulation-free.  Set ``REPRO_BUDGET_MULT=0.25`` for a quick
 smoke pass (budgets are part of the store key), or
 ``REPRO_BENCH_NO_PREFETCH=1`` to skip the warm-up (e.g. for the ablation
-benchmarks, which build their own simulations).
+benchmarks, which build their own simulations), or
+``REPRO_BENCH_PROGRESS=1`` to watch the warm-up's aggregate live
+progress line while cold runs execute (see ``repro.obs.live``).
 
 Every benchmark writes its rendered output to ``benchmarks/output/`` and
 prints it (visible with ``pytest -s``).
@@ -33,7 +35,7 @@ def warm_run_store():
         return
     from repro.analysis.runner import prefetch_all
 
-    prefetch_all()
+    prefetch_all(progress=bool(os.environ.get("REPRO_BENCH_PROGRESS")))
 
 
 @pytest.fixture(scope="session")

@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 #: marks structure changes; old stored artifacts then miss and re-run.
 #: v2: counter windows carry the flattened probe-registry tree under
 #: ``probes`` (see repro.obs.registry).
-SCHEMA_VERSION = 2
+#: v3: histogram probe snapshots embed their bucket ``bounds`` so stored
+#: windows are self-describing for percentile computation.
+SCHEMA_VERSION = 3
 
 #: Coarse code-version tag folded into every fingerprint.  Bump when the
 #: *simulator's* behavior changes (new counters, different scheduling,

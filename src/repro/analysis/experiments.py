@@ -180,15 +180,23 @@ def run_windowed(sim: Simulation, budget: int) -> tuple[dict, dict, dict]:
     return diff(mid, boot), diff(end, mid), diff(end, boot)
 
 
-def execute_spec(spec: dict) -> RunArtifact:
+def execute_spec(spec: dict, heartbeat=None) -> RunArtifact:
     """Execute one run spec and freeze it into an artifact (no caching).
 
     This is the unit of work the parallel runner ships to worker
-    processes; :func:`get_run` calls it on a cache miss.
+    processes; :func:`get_run` calls it on a cache miss.  With
+    *heartbeat* (a :class:`~repro.obs.live.Heartbeat`), the simulation
+    emits live progress samples while it runs.
     """
     sim = build_simulation(spec["workload"], spec["cpu"], spec["os_mode"],
                            seed=spec["seed"])
+    if heartbeat is not None:
+        if heartbeat.target is None:
+            heartbeat.target = spec["instructions"]
+        sim.attach_heartbeat(heartbeat)
     startup, steady, total = run_windowed(sim, spec["instructions"])
+    if heartbeat is not None:
+        heartbeat.close()
     artifact = sim.to_artifact(
         startup, steady, total,
         spec_extra={k: spec[k] for k in

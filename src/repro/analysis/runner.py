@@ -45,22 +45,70 @@ def default_workers() -> int:
     return max(1, min(len(CANONICAL_SPECS), os.cpu_count() or 1))
 
 
-def _worker_run(spec: dict, store_root: str) -> dict:
+def _worker_run(spec: dict, store_root: str,
+                progress_path: str | None = None) -> dict:
     """Execute one run spec in a worker process; returns the artifact as a
-    JSON dict (plain data crosses the process boundary, never handles)."""
-    artifact = experiments.execute_spec(spec)
+    JSON dict (plain data crosses the process boundary, never handles).
+
+    With *progress_path*, a heartbeat periodically overwrites that file
+    with the worker's latest progress sample so the parent process can
+    aggregate live telemetry across the pool (see repro.obs.live).
+    """
+    heartbeat = None
+    if progress_path is not None:
+        from repro.obs.live import Heartbeat, StateFileSink
+
+        heartbeat = Heartbeat(StateFileSink(progress_path),
+                              target_instructions=spec["instructions"],
+                              label=_spec_label(spec))
+    artifact = (experiments.execute_spec(spec, heartbeat=heartbeat)
+                if heartbeat is not None
+                else experiments.execute_spec(spec))
     RunStore(store_root).put(artifact)
     return artifact.to_json_dict()
 
 
-def _run_specs(specs: list[dict], max_workers: int,
-               store: RunStore) -> list[RunArtifact]:
-    """Execute specs, in parallel when possible, preserving order."""
+def _spec_label(spec: dict) -> str:
+    return f"{spec['workload']}-{spec['cpu']}-{spec['os_mode']}"
+
+
+def _run_specs(specs: list[dict], max_workers: int, store: RunStore,
+               progress: bool = False) -> list[RunArtifact]:
+    """Execute specs, in parallel when possible, preserving order.
+
+    With *progress*, parallel workers write per-run state files into a
+    temporary directory and the parent renders one aggregate live line
+    (see :class:`repro.obs.live.ProgressAggregator`) while it waits; the
+    serial fallback beats through the same aggregator directly.
+    """
+    if not progress:
+        return _run_specs_quiet(specs, max_workers, store)
+    import tempfile
+
+    from repro.obs.live import ProgressAggregator
+
+    with tempfile.TemporaryDirectory(prefix="repro-progress-") as tmp:
+        aggregator = ProgressAggregator(
+            tmp, total_runs=len(specs),
+            total_instructions=sum(s["instructions"] for s in specs))
+        return _run_specs_quiet(specs, max_workers, store,
+                                aggregator=aggregator)
+
+
+def _run_specs_quiet(specs: list[dict], max_workers: int, store: RunStore,
+                     aggregator=None) -> list[RunArtifact]:
     if max_workers > 1 and len(specs) > 1:
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [pool.submit(_worker_run, spec, str(store.root))
-                           for spec in specs]
+                futures = [
+                    pool.submit(
+                        _worker_run, spec, str(store.root),
+                        aggregator.path_for(i) if aggregator is not None
+                        else None)
+                    for i, spec in enumerate(specs)
+                ]
+                if aggregator is not None:
+                    _watch_progress(futures, aggregator)
                 return [RunArtifact.from_json_dict(f.result())
                         for f in futures]
         except (OSError, PermissionError, NotImplementedError, BrokenExecutor):
@@ -68,11 +116,45 @@ def _run_specs(specs: list[dict], max_workers: int,
             # killed workers): fall through to the serial path.
             pass
     out = []
-    for spec in specs:
-        artifact = experiments.execute_spec(spec)
+    for i, spec in enumerate(specs):
+        heartbeat = None
+        if aggregator is not None:
+            from repro.obs.live import Heartbeat, StateFileSink
+
+            heartbeat = Heartbeat(
+                StateFileSink(aggregator.path_for(i),
+                              on_write=aggregator.refresh),
+                target_instructions=spec["instructions"],
+                label=_spec_label(spec))
+        artifact = (experiments.execute_spec(spec, heartbeat=heartbeat)
+                    if heartbeat is not None
+                    else experiments.execute_spec(spec))
         store.put(artifact)
         out.append(artifact)
+    if aggregator is not None:
+        aggregator.refresh(final=True)
     return out
+
+
+def _watch_progress(futures, progress, poll_s: float = 0.5) -> None:
+    """Render aggregate pool progress until every future settles."""
+    from concurrent.futures import wait
+
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, timeout=poll_s)
+        progress.refresh(final=not pending)
+
+
+def _resolve_item(item) -> dict:
+    """One run_many item -- a (workload, cpu, os_mode) triple or a dict
+    with optional ``instructions``/``seed`` -- as a full resolved spec."""
+    if isinstance(item, dict):
+        return experiments.run_spec(
+            item["workload"], item["cpu"], item.get("os_mode", "full"),
+            item.get("instructions"), item.get("seed", 11))
+    wl, cpu, mode = item
+    return experiments.run_spec(wl, cpu, mode)
 
 
 def run_many(
@@ -80,50 +162,68 @@ def run_many(
     max_workers: int | None = None,
     force: bool = False,
     store: RunStore | None = None,
+    progress: bool = False,
 ) -> dict[str, RunArtifact]:
     """Resolve many canonical runs at once, executing misses concurrently.
 
-    ``specs`` is an iterable of ``(workload, cpu, os_mode)`` triples
-    (default: all eight canonical runs).  Returns a dict keyed by the
-    ``workload-cpu-os_mode`` label.  Already-stored runs are loaded, not
-    re-run, unless ``force`` is set.
+    ``specs`` is an iterable of ``(workload, cpu, os_mode)`` triples or
+    dicts carrying ``instructions``/``seed`` overrides (the diff engine's
+    seed fan-out uses the dict form).  Returns a dict keyed by the
+    ``workload-cpu-os_mode`` label -- dict-form specs append ``-s<seed>``,
+    and colliding labels gain a ``#n`` suffix -- in input order.
+    Already-stored runs are loaded, not re-run, unless ``force`` is set.
+    With ``progress``, executing misses renders a live aggregate line.
     """
-    triples = list(specs) if specs is not None else list(CANONICAL_SPECS)
+    items = list(specs) if specs is not None else list(CANONICAL_SPECS)
     store = store or RunStore()
-    resolved = [experiments.run_spec(wl, cpu, mode) for wl, cpu, mode in triples]
+    resolved = [_resolve_item(item) for item in items]
+    labels: list[str] = []
+    for item, spec in zip(items, resolved):
+        label = _spec_label(spec)
+        if isinstance(item, dict):
+            label += f"-s{spec['seed']}"
+        n = 2
+        while label in labels:
+            label = f"{label}#{n}"
+            n += 1
+        labels.append(label)
     results: dict[str, RunArtifact] = {}
-    todo: list[dict] = []
-    for spec in resolved:
-        label = f"{spec['workload']}-{spec['cpu']}-{spec['os_mode']}"
+    todo: list[tuple[str, dict]] = []
+    for label, spec in zip(labels, resolved):
         artifact = None if force else experiments.cached_artifact(
             run_fingerprint(spec), store)
         if artifact is not None:
             results[label] = artifact
         else:
-            todo.append(spec)
+            todo.append((label, spec))
     if todo:
         workers = max_workers if max_workers is not None else default_workers()
-        for spec, artifact in zip(todo, _run_specs(todo, workers, store)):
+        executed = _run_specs([spec for _, spec in todo], workers, store,
+                              progress=progress)
+        for (label, _), artifact in zip(todo, executed):
             experiments.register_artifact(artifact)
-            results[f"{spec['workload']}-{spec['cpu']}-{spec['os_mode']}"] = artifact
-    return results
+            results[label] = artifact
+    return {label: results[label] for label in labels}
 
 
 def prefetch_all(
     max_workers: int | None = None,
     force: bool = False,
     store: RunStore | None = None,
+    progress: bool = False,
 ) -> dict[str, RunArtifact]:
     """Warm the store with all eight canonical runs (the ``repro
     prefetch`` entry point)."""
     return run_many(CANONICAL_SPECS, max_workers=max_workers, force=force,
-                    store=store)
+                    store=store, progress=progress)
 
 
-def prefetch_timed(max_workers: int | None = None, force: bool = False):
+def prefetch_timed(max_workers: int | None = None, force: bool = False,
+                   progress: bool = False):
     """Prefetch and report (artifacts, wall_seconds) for CLI output."""
     start = time.perf_counter()
-    artifacts = prefetch_all(max_workers=max_workers, force=force)
+    artifacts = prefetch_all(max_workers=max_workers, force=force,
+                             progress=progress)
     return artifacts, time.perf_counter() - start
 
 

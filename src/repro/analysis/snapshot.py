@@ -100,7 +100,12 @@ def diff(after: dict, before: dict) -> dict:
     out: dict = {}
     for key, a_val in after.items():
         b_val = before.get(key)
-        if isinstance(a_val, dict):
+        if key == "bounds" and isinstance(a_val, list):
+            # Histogram bucket bounds are metadata, not a counter: carry
+            # them through so windows stay self-describing (percentiles
+            # are computed from windows, see repro.obs.registry).
+            out[key] = list(a_val)
+        elif isinstance(a_val, dict):
             out[key] = diff(a_val, b_val if isinstance(b_val, dict) else {})
         elif isinstance(a_val, list):
             if isinstance(b_val, list) and len(b_val) == len(a_val):

@@ -25,7 +25,7 @@ import pathlib
 import re
 from dataclasses import dataclass
 
-from repro.analysis.artifact import ArtifactError, RunArtifact
+from repro.analysis.artifact import SCHEMA_VERSION, ArtifactError, RunArtifact
 
 #: Default store directory, relative to the working directory.
 DEFAULT_STORE_DIR = ".repro_cache"
@@ -152,6 +152,24 @@ class RunStore:
                 schema_version=version if isinstance(version, int) else None,
                 created=created))
         return out
+
+    def gc(self, dry_run: bool = False) -> list[StoreEntry]:
+        """Delete stale-schema entries (the ones ``cache ls`` flags).
+
+        A schema bump turns every stored artifact into a permanent miss;
+        without collection those files leak disk forever.  Returns the
+        stale entries (removed, or merely found with *dry_run*).  Current
+        -schema entries are never touched.
+        """
+        stale = [entry for entry in self.entries()
+                 if entry.schema_version != SCHEMA_VERSION]
+        if not dry_run:
+            for entry in stale:
+                try:
+                    entry.path.unlink()
+                except OSError:  # pragma: no cover - racing deletion
+                    pass
+        return stale
 
     def clear(self) -> int:
         """Delete every stored artifact; returns how many were removed."""

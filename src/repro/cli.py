@@ -3,29 +3,39 @@
 ::
 
     python -m repro prefetch --workers 4          # warm the run store
-    python -m repro run specint --cpu smt --instructions 200000
+    python -m repro run specint --cpu smt --instructions 200000 --progress
     python -m repro table 4
     python -m repro figure 6
     python -m repro report --out EXPERIMENTS_GENERATED.md
     python -m repro cache ls
+    python -m repro cache gc --dry-run
     python -m repro cache clear
     python -m repro list
     python -m repro counters specint --grep mem.l2
+    python -m repro counters specint --against specint-ss-full
+    python -m repro diff specint-smt-app specint-smt-full --seeds 3
+    python -m repro bench --check
     python -m repro trace specint --out trace.json
     python -m repro profile specint
 
 ``table`` and ``figure`` regenerate one of the paper's exhibits from the
 canonical runs.  ``counters`` reads the hierarchical probe tree out of a
-stored artifact; ``trace`` re-runs a workload with the event bus attached
-and exports a Chrome ``trace_event`` file (open in Perfetto /
-``chrome://tracing``); ``profile`` times the simulator's own components
-(see ``docs/observability.md``).  Runs resolve through the content-addressed on-disk store
-(default ``.repro_cache/``, override with ``REPRO_CACHE_DIR``), so only
-the first invocation *anywhere* pays the simulation cost;
-``REPRO_BUDGET_MULT`` scales the instruction budgets (and is part of the
-store key).  ``prefetch`` executes all eight canonical runs concurrently,
-one process per core; ``report`` regenerates every exhibit and writes a
-combined report.
+stored artifact (``--against`` diffs it against a second stored run);
+``diff`` structurally compares two runs probe by probe, with optional
+repeated-seed noise filtering; ``bench`` measures the simulator's own
+speed on standardized scenarios, writes ``BENCH_<scenario>.json``
+trajectory files, and gates regressions with ``--check``; ``trace``
+re-runs a workload with the event bus attached and exports a Chrome
+``trace_event`` file (open in Perfetto / ``chrome://tracing``);
+``profile`` times the simulator's own components (see
+``docs/observability.md``).  Runs resolve through the content-addressed
+on-disk store (default ``.repro_cache/``, override with
+``REPRO_CACHE_DIR``), so only the first invocation *anywhere* pays the
+simulation cost; ``REPRO_BUDGET_MULT`` scales the instruction budgets
+(and is part of the store key).  ``prefetch`` executes all eight
+canonical runs concurrently, one process per core (``--progress`` shows
+an aggregate live line); ``report`` regenerates every exhibit and writes
+a combined report.
 """
 
 from __future__ import annotations
@@ -39,8 +49,24 @@ from repro.analysis.paper import build_comparison, render_markdown
 
 
 def _cmd_run(args) -> int:
-    rec = get_run(args.workload, args.cpu, args.os_mode,
-                  instructions=args.instructions, seed=args.seed)
+    if args.progress or args.progress_out:
+        from repro.analysis import experiments
+        from repro.analysis.store import RunStore
+        from repro.obs.live import Heartbeat, JsonlSink, TtyProgressSink
+
+        spec = experiments.run_spec(args.workload, args.cpu, args.os_mode,
+                                    args.instructions, args.seed)
+        sink = (JsonlSink(args.progress_out) if args.progress_out
+                else TtyProgressSink())
+        heartbeat = Heartbeat(
+            sink, target_instructions=spec["instructions"],
+            label=f"{args.workload}-{args.cpu}-{args.os_mode}")
+        rec = experiments.execute_spec(spec, heartbeat=heartbeat)
+        RunStore().put(rec)
+        experiments.register_artifact(rec)
+    else:
+        rec = get_run(args.workload, args.cpu, args.os_mode,
+                      instructions=args.instructions, seed=args.seed)
     w = rec.steady
     shares = metrics.class_shares(w)
     print(f"workload={args.workload} cpu={args.cpu} os_mode={args.os_mode}")
@@ -120,7 +146,8 @@ def _cmd_prefetch(args) -> int:
     from repro.analysis.store import RunStore
 
     artifacts, elapsed = prefetch_timed(max_workers=args.workers,
-                                        force=args.force)
+                                        force=args.force,
+                                        progress=args.progress)
     for label in sorted(artifacts):
         art = artifacts[label]
         print(f"  {label:20s} {art.total['retired']:>12,} instructions "
@@ -137,6 +164,20 @@ def _cmd_cache(args) -> int:
     if args.cache_command == "clear":
         removed = store.clear()
         print(f"removed {removed} stored run(s) from {store.root}")
+        return 0
+    if args.cache_command == "gc":
+        stale = store.gc(dry_run=args.dry_run)
+        if not stale:
+            print(f"no stale-schema entries in {store.root}")
+            return 0
+        verb = "would remove" if args.dry_run else "removed"
+        for entry in stale:
+            version = ("?" if entry.schema_version is None
+                       else f"v{entry.schema_version}")
+            print(f"  {entry.label:24s} {version:<4s} {entry.size:>10,} B  "
+                  f"{entry.path.name}")
+        print(f"{verb} {len(stale)} stale run(s), "
+              f"{sum(e.size for e in stale):,} bytes from {store.root}")
         return 0
     entries = store.entries()
     if not entries:
@@ -167,6 +208,8 @@ def _cmd_cache(args) -> int:
 def _cmd_counters(args) -> int:
     rec = get_run(args.workload, args.cpu, args.os_mode,
                   instructions=args.instructions, seed=args.seed)
+    if args.against:
+        return _counters_against(args, rec)
     probes = rec.window(args.window).get("probes", {})
     if args.grep:
         probes = {k: v for k, v in probes.items() if k.startswith(args.grep)}
@@ -176,11 +219,17 @@ def _cmd_counters(args) -> int:
         return 1
     import json as _json
 
+    from repro.obs.registry import snapshot_percentile
+
     width = max(len(name) for name in probes)
     for name in sorted(probes):
         value = probes[name]
         if isinstance(value, dict):  # histogram snapshot
-            print(f"  {name:<{width}s} {_json.dumps(value, sort_keys=True)}")
+            pct = "  ".join(
+                f"p{int(q * 100)}={snapshot_percentile(value, q):.1f}"
+                for q in (0.50, 0.95, 0.99))
+            print(f"  {name:<{width}s} {pct}  "
+                  f"{_json.dumps(value, sort_keys=True)}")
         elif isinstance(value, float):
             print(f"  {name:<{width}s} {value:>14.3f}")
         else:
@@ -190,11 +239,139 @@ def _cmd_counters(args) -> int:
     return 0
 
 
+def _counters_against(args, rec) -> int:
+    """``repro counters --against``: side-by-side probe deltas."""
+    from repro.obs.diff import diff_artifacts
+
+    other = _resolve_run_arg(args.against, args.instructions, args.seed)
+    report = diff_artifacts(other, rec, window=args.window, grep=args.grep)
+    if not report.deltas:
+        print(f"no probes match prefix {args.grep!r}" if args.grep
+              else "no probes to compare")
+        return 1
+    print(report.render(show_all=True))
+    return 0
+
+
+def _resolve_run_arg(text: str, instructions, seed):
+    """A diff-side argument as an artifact.
+
+    Accepts a ``workload-cpu-os_mode`` label (resolved through the
+    memo/store/execute layers) or a path to a stored artifact JSON file.
+    """
+    import os as _os
+
+    from repro.analysis.artifact import ArtifactError, RunArtifact
+
+    if text.endswith(".json") or _os.sep in text:
+        try:
+            return RunArtifact.loads(open(text).read())
+        except (OSError, ArtifactError) as exc:
+            raise SystemExit(f"cannot load artifact file {text!r}: {exc}")
+    parts = text.split("-")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"bad run {text!r}: want workload-cpu-os_mode "
+            "(e.g. specint-smt-full) or a path to an artifact .json")
+    return get_run(parts[0], parts[1], parts[2],
+                   instructions=instructions, seed=seed)
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import diff_artifacts, diff_runs
+
+    if args.seeds > 1:
+        for text in (args.run_a, args.run_b):
+            if text.endswith(".json"):
+                raise SystemExit(
+                    "--seeds needs run labels, not artifact files "
+                    f"(cannot re-seed {text!r})")
+
+        def _side(text):
+            parts = text.split("-")
+            if len(parts) != 3:
+                raise SystemExit(
+                    f"bad run {text!r}: want workload-cpu-os_mode")
+            return {"workload": parts[0], "cpu": parts[1],
+                    "os_mode": parts[2], "instructions": args.instructions,
+                    "seed": args.seed}
+
+        report = diff_runs(_side(args.run_a), _side(args.run_b),
+                           window=args.window, grep=args.grep,
+                           seeds=args.seeds, per_kilo=args.per_kilo,
+                           max_workers=args.workers)
+    else:
+        art_a = _resolve_run_arg(args.run_a, args.instructions, args.seed)
+        art_b = _resolve_run_arg(args.run_b, args.instructions, args.seed)
+        report = diff_artifacts(art_a, art_b, window=args.window,
+                                grep=args.grep, per_kilo=args.per_kilo)
+    if args.json:
+        import json as _json
+
+        _guard_overwrite(args.json, args.force)
+        with open(args.json, "w") as f:
+            _json.dump(report.to_json_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    print(report.render(n=args.top, key=args.sort, show_all=args.all))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import baseline
+
+    scenarios = args.scenarios or list(baseline.DEFAULT_SCENARIOS)
+    unknown = [s for s in scenarios if s not in baseline.SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s) {unknown} "
+                         f"(want one of {sorted(baseline.SCENARIOS)})")
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else baseline.DEFAULT_TOLERANCE)
+    exit_code = 0
+    for name in scenarios:
+        measured = baseline.measure(name, instructions=args.instructions)
+        host = measured["host"]
+        stats = "  ".join(f"{k}={v:,}" for k, v in sorted(host.items()))
+        if not args.check:
+            path = baseline.write_baseline(measured, args.dir)
+            print(f"{name}: {stats}  -> {path}")
+            continue
+        stored = baseline.load_baseline(name, args.dir)
+        if stored is None:
+            path = baseline.write_baseline(measured, args.dir)
+            print(f"{name}: no baseline to check against; seeded {path}")
+            continue
+        regressions, notes = baseline.check(measured, stored,
+                                            tolerance=tolerance)
+        for note in notes:
+            print(f"{name}: note: {note}")
+        if regressions:
+            exit_code = 1
+            print(f"{name}: REGRESSION  {stats}")
+            for item in regressions:
+                print(f"  {item}")
+        else:
+            print(f"{name}: ok  {stats}")
+            if args.update:
+                baseline.write_baseline(measured, args.dir)
+    return exit_code
+
+
+def _guard_overwrite(path: str, force: bool) -> None:
+    """Refuse to clobber an existing output file unless --force is given."""
+    import os as _os
+
+    if _os.path.exists(path) and not force:
+        raise SystemExit(
+            f"refusing to overwrite existing {path!r} (use --force)")
+
+
 def _cmd_trace(args) -> int:
     from repro.analysis.experiments import build_simulation
     from repro.obs.events import EventBus
     from repro.obs.export import to_jsonl, write_chrome_trace
 
+    _guard_overwrite(args.out, args.force)
     sim = build_simulation(args.workload, args.cpu, args.os_mode,
                            seed=args.seed)
     bus = EventBus(capacity=args.capacity)
@@ -216,12 +393,21 @@ def _cmd_profile(args) -> int:
     from repro.analysis.experiments import build_simulation
     from repro.obs.profile import profile_simulation
 
+    if args.out:
+        _guard_overwrite(args.out, args.force)
     sim = build_simulation(args.workload, args.cpu, args.os_mode,
                            seed=args.seed)
     prof = profile_simulation(sim, args.instructions)
-    print(prof.render())
-    print(f"\n{sim.stats.retired:,} instructions in {sim.stats.cycles:,} "
-          f"cycles ({args.workload}/{args.cpu}/{args.os_mode})")
+    text = (prof.render()
+            + f"\n\n{sim.stats.retired:,} instructions in "
+            f"{sim.stats.cycles:,} cycles "
+            f"({args.workload}/{args.cpu}/{args.os_mode})")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -293,6 +479,13 @@ def main(argv=None) -> int:
                        default="full", dest="os_mode")
     p_run.add_argument("--instructions", type=int, default=None)
     p_run.add_argument("--seed", type=int, default=11)
+    p_run.add_argument("--progress", action="store_true",
+                       help="execute fresh (even if stored) with a live "
+                            "progress line")
+    p_run.add_argument("--progress-out", default=None, dest="progress_out",
+                       metavar="FILE",
+                       help="write JSONL heartbeat samples to FILE instead "
+                            "of a progress line (headless runs)")
     p_run.set_defaults(func=_cmd_run)
 
     p_table = sub.add_parser("table", help="regenerate one paper table (2-9)")
@@ -319,10 +512,15 @@ def main(argv=None) -> int:
                        help="process count (default: one per core)")
     p_pre.add_argument("--force", action="store_true",
                        help="re-run even when the store already has a run")
+    p_pre.add_argument("--progress", action="store_true",
+                       help="show one aggregate live line while runs execute")
     p_pre.set_defaults(func=_cmd_prefetch)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the run store")
-    p_cache.add_argument("cache_command", choices=["ls", "clear"])
+    p_cache = sub.add_parser(
+        "cache", help="inspect, garbage-collect, or clear the run store")
+    p_cache.add_argument("cache_command", choices=["ls", "gc", "clear"])
+    p_cache.add_argument("--dry-run", action="store_true", dest="dry_run",
+                         help="gc: list stale entries without deleting them")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_cnt = sub.add_parser(
@@ -339,7 +537,66 @@ def main(argv=None) -> int:
     p_cnt.add_argument("--grep", default=None, metavar="PREFIX",
                        help="only probes whose name starts with PREFIX "
                             "(e.g. mem.l2, os.syscall)")
+    p_cnt.add_argument("--against", default=None, metavar="RUN",
+                       help="diff against a second run "
+                            "(workload-cpu-os_mode label or artifact path)")
     p_cnt.set_defaults(func=_cmd_counters)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="structural probe-tree diff of two stored runs")
+    p_diff.add_argument("run_a", metavar="runA",
+                        help="workload-cpu-os_mode label or artifact .json")
+    p_diff.add_argument("run_b", metavar="runB")
+    p_diff.add_argument("--window", choices=["startup", "steady", "total"],
+                        default="steady")
+    p_diff.add_argument("--grep", default=None, metavar="PREFIX",
+                        help="only probes whose name starts with PREFIX")
+    p_diff.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run each side under N consecutive seeds and "
+                             "filter deltas inside the noise band")
+    p_diff.add_argument("--instructions", type=int, default=None,
+                        help="instruction budget for label-resolved runs")
+    p_diff.add_argument("--seed", type=int, default=11,
+                        help="base seed for label-resolved runs")
+    p_diff.add_argument("--per-kilo", action="store_true", dest="per_kilo",
+                        help="normalize counts per 1,000 retired "
+                             "instructions of each side")
+    p_diff.add_argument("--top", type=int, default=20,
+                        help="show the N largest movers (default 20)")
+    p_diff.add_argument("--all", action="store_true",
+                        help="show every changed probe")
+    p_diff.add_argument("--sort", choices=["abs", "rel"], default="abs",
+                        help="rank movers by absolute or relative delta")
+    p_diff.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the machine-readable report here")
+    p_diff.add_argument("--force", action="store_true",
+                        help="overwrite an existing --json file")
+    p_diff.add_argument("--workers", type=int, default=None,
+                        help="process count for seed fan-out")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator speed; write/check BENCH_<scenario>.json")
+    p_bench.add_argument("scenarios", nargs="*",
+                         help="scenarios to run: specint, apache, report "
+                              "(default: specint apache)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="compare against the stored baseline and exit "
+                              "nonzero on regression")
+    p_bench.add_argument("--tolerance", type=float, default=None,
+                         help="relative noise band for --check "
+                              "(default 0.25 = 25%%)")
+    p_bench.add_argument("--dir", default=".",
+                         help="directory holding BENCH_*.json (default: .)")
+    p_bench.add_argument("--instructions", type=int, default=None,
+                         help="instruction budget for the simulation "
+                              "scenarios (default 400,000)")
+    p_bench.add_argument("--update", action="store_true",
+                         help="with --check: rewrite the baseline after a "
+                              "passing comparison")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_trace = sub.add_parser(
         "trace",
@@ -357,6 +614,8 @@ def main(argv=None) -> int:
                               "trace_event JSON")
     p_trace.add_argument("--capacity", type=int, default=200_000,
                          help="event ring size (oldest dropped beyond this)")
+    p_trace.add_argument("--force", action="store_true",
+                         help="overwrite an existing --out file")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_prof = sub.add_parser(
@@ -368,6 +627,10 @@ def main(argv=None) -> int:
                         default="full", dest="os_mode")
     p_prof.add_argument("--instructions", type=int, default=100_000)
     p_prof.add_argument("--seed", type=int, default=11)
+    p_prof.add_argument("--out", default=None,
+                        help="write the profile table here instead of stdout")
+    p_prof.add_argument("--force", action="store_true",
+                        help="overwrite an existing --out file")
     p_prof.set_defaults(func=_cmd_profile)
 
     p_cmp = sub.add_parser(

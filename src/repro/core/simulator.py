@@ -142,6 +142,7 @@ class Simulation:
         workload.setup(self.os, self.hierarchy, random.Random(seed + 7919))
         self._now = 0
         self.events = None
+        self.heartbeat = None
 
     def attach_events(self, bus) -> None:
         """Wire one :class:`~repro.obs.events.EventBus` through every layer.
@@ -154,6 +155,16 @@ class Simulation:
         self.hierarchy.events = bus
         self.os.events = bus
 
+    def attach_heartbeat(self, heartbeat) -> None:
+        """Sample live progress every ``2^k`` cycles while running.
+
+        *heartbeat* is a :class:`~repro.obs.live.Heartbeat`; until one is
+        attached (the default) the run loop carries no per-cycle check at
+        all, and with one attached the cost is a single mask test per
+        cycle plus one sample every ``heartbeat.interval`` cycles.
+        """
+        self.heartbeat = heartbeat
+
     def run(
         self,
         max_instructions: int = 300_000,
@@ -164,7 +175,9 @@ class Simulation:
 
         With *profiler* (a :class:`~repro.obs.profile.ScopeProfiler`),
         each step is charged to ``os.tick`` / ``core.cycle`` scopes; the
-        unprofiled loop is untouched.
+        unprofiled loop is untouched.  With a heartbeat attached
+        (:meth:`attach_heartbeat`), a mask test per cycle triggers one
+        progress sample every ``heartbeat.interval`` cycles.
         """
         os_tick = self.os.tick
         cycle = self.processor.cycle
@@ -172,6 +185,7 @@ class Simulation:
         tick_interval = self.tick_interval
         now = self._now
         limit_cycles = max_cycles if max_cycles is not None else (1 << 62)
+        heartbeat = self.heartbeat
         if profiler is not None:
             tick_scope = profiler("os.tick")
             cycle_scope = profiler("core.cycle")
@@ -182,6 +196,16 @@ class Simulation:
                 with cycle_scope:
                     cycle(now)
                 now += 1
+        elif heartbeat is not None:
+            beat = heartbeat.beat
+            hb_mask = heartbeat.mask
+            while stats.retired < max_instructions and now < limit_cycles:
+                if now % tick_interval == 0:
+                    os_tick(now)
+                cycle(now)
+                now += 1
+                if now & hb_mask == 0:
+                    beat(now, stats)
         else:
             while stats.retired < max_instructions and now < limit_cycles:
                 if now % tick_interval == 0:

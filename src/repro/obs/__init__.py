@@ -1,6 +1,6 @@
 """Unified observability layer.
 
-Three cooperating pieces, all optional and all cheap when unused:
+Cooperating pieces, all optional and all cheap when unused:
 
 * :mod:`repro.obs.registry` -- a hierarchical probe/counter registry.
   Components register named counters and histograms once
@@ -14,12 +14,23 @@ Three cooperating pieces, all optional and all cheap when unused:
   ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
 * :mod:`repro.obs.profile` -- a host-wall-clock scope profiler showing
   where simulator (Python) time goes per simulated component.
+* :mod:`repro.obs.diff` -- structural diffing of two stored runs' probe
+  trees, with top-mover ranking and repeated-seed noise filtering
+  (``repro diff``, ``repro counters --against``).
+* :mod:`repro.obs.baseline` -- standardized perf scenarios, the
+  ``BENCH_<scenario>.json`` trajectory files, and the ``repro bench
+  --check`` regression gate.
+* :mod:`repro.obs.live` -- heartbeat telemetry for running simulations:
+  live progress lines, JSONL heartbeats, and per-worker aggregation in
+  the parallel runner.
 
-See ``docs/observability.md`` for the probe naming scheme and a worked
-example.
+See ``docs/observability.md`` for the probe naming scheme and worked
+examples.
 """
 
+from repro.obs.diff import DiffReport, ProbeDelta, diff_artifacts, diff_runs
 from repro.obs.events import EventBus, SimEvent
+from repro.obs.live import Heartbeat, ProgressAggregator
 from repro.obs.profile import ScopeProfiler, profile_simulation
 from repro.obs.registry import (
     NULL_REGISTRY,
@@ -27,16 +38,24 @@ from repro.obs.registry import (
     CounterGroup,
     Histogram,
     ProbeRegistry,
+    snapshot_percentile,
 )
 
 __all__ = [
     "Counter",
     "CounterGroup",
+    "DiffReport",
     "EventBus",
+    "Heartbeat",
     "Histogram",
     "NULL_REGISTRY",
+    "ProbeDelta",
     "ProbeRegistry",
+    "ProgressAggregator",
     "ScopeProfiler",
     "SimEvent",
+    "diff_artifacts",
+    "diff_runs",
     "profile_simulation",
+    "snapshot_percentile",
 ]

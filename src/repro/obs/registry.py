@@ -80,9 +80,11 @@ NULL_COUNTER = _NullCounter("null")
 class Histogram:
     """Fixed-bucket distribution of observed values.
 
-    ``snapshot()`` renders as plain data -- ``count``, ``sum``, and one
-    cumulative-style bucket list ``[counts per bound..., overflow]`` --
-    so histogram windows subtract elementwise like every other counter.
+    ``snapshot()`` renders as plain data -- ``count``, ``sum``, the bucket
+    ``bounds``, and one bucket list ``[counts per bound..., overflow]`` --
+    so histogram windows subtract elementwise like every other counter
+    (the bounds themselves are carried through window differencing
+    unchanged; see :func:`repro.analysis.snapshot.diff`).
     """
 
     __slots__ = ("name", "bounds", "counts", "count", "sum")
@@ -107,7 +109,63 @@ class Histogram:
 
     def snapshot(self) -> dict:
         return {"count": self.count, "sum": self.sum,
-                "buckets": list(self.counts)}
+                "bounds": list(self.bounds), "buckets": list(self.counts)}
+
+    # -- percentiles -------------------------------------------------------
+
+    def percentile(self, q: float) -> float:
+        """The *q*-quantile (``0 < q <= 1``) estimated from the buckets."""
+        return bucket_percentile(self.counts, self.bounds, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+
+def bucket_percentile(counts, bounds, q: float) -> float:
+    """Percentile estimate from bucket counts, linearly interpolated.
+
+    Values inside a bucket are assumed uniform between its lower and
+    upper bound; the overflow bucket is clipped to the last bound (a
+    histogram cannot see past it).  An empty histogram yields 0.0.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"percentile must be in (0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if n == 0:
+            continue
+        if cumulative + n >= rank:
+            if i >= len(bounds):  # overflow bucket: clip to the last bound
+                return float(bounds[-1])
+            lo = bounds[i - 1] if i > 0 else 0
+            hi = bounds[i]
+            return lo + (hi - lo) * (rank - cumulative) / n
+        cumulative += n
+    return float(bounds[-1])  # pragma: no cover - rank <= total always hits
+
+
+def snapshot_percentile(snap: dict, q: float) -> float:
+    """Percentile of a histogram *snapshot* dict (``repro counters``, the
+    diff engine, and the perf baselines all read stored snapshots).
+
+    Snapshots written before the bounds were embedded (schema < 3) fall
+    back to :data:`DEFAULT_BUCKETS`.
+    """
+    bounds = tuple(snap.get("bounds") or DEFAULT_BUCKETS)
+    return bucket_percentile(snap.get("buckets", []), bounds, q)
 
 
 class _NullHistogram(Histogram):

@@ -152,3 +152,75 @@ def test_cli_prefetch_and_cache_lifecycle(tmp_path, monkeypatch, capsys):
     assert "removed 8" in capsys.readouterr().out
     assert cli.main(["cache", "ls"]) == 0
     assert "empty" in capsys.readouterr().out
+
+
+def test_cli_cache_gc_removes_only_stale_schema_entries(
+        tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["run", "specint"]) == 0
+    capsys.readouterr()
+
+    # Nothing stale yet: gc is a no-op.
+    assert cli.main(["cache", "gc"]) == 0
+    assert "no stale-schema entries" in capsys.readouterr().out
+
+    # Fabricate a leftover from an older schema (a permanent store miss).
+    current = next(tmp_path.glob("*.json"))
+    old = json.loads(current.read_text())
+    old["schema_version"] = old["schema_version"] - 1
+    old["fingerprint"] = "0" * 64
+    stale_path = tmp_path / "specint-smt-full-00000000000000000000.json"
+    stale_path.write_text(json.dumps(old))
+
+    assert cli.main(["cache", "gc", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "would remove 1 stale run(s)" in out
+    assert stale_path.exists()  # dry run keeps the file
+
+    assert cli.main(["cache", "gc"]) == 0
+    assert "removed 1 stale run(s)" in capsys.readouterr().out
+    assert not stale_path.exists()
+    assert current.exists()  # current-schema entries are never touched
+
+
+def test_cli_trace_refuses_to_overwrite_without_force(
+        tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "trace.json"
+    args = ["trace", "specint", "--instructions", "20000",
+            "--out", str(out_path)]
+    assert cli.main(args) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="refusing to overwrite"):
+        cli.main(args)
+    assert cli.main(args + ["--force"]) == 0
+
+
+def test_cli_profile_out_file_and_force(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "profile.txt"
+    args = ["profile", "specint", "--instructions", "20000",
+            "--out", str(out_path)]
+    assert cli.main(args) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "core.fetch" in out_path.read_text()
+    with pytest.raises(SystemExit, match="refusing to overwrite"):
+        cli.main(args)
+    assert cli.main(args + ["--force"]) == 0
+
+
+def test_cli_run_progress_out_writes_jsonl(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    beats_path = tmp_path / "beats.jsonl"
+    assert cli.main(["run", "specint", "--progress-out",
+                     str(beats_path)]) == 0
+    assert "IPC" in capsys.readouterr().out
+    assert beats_path.exists()
+    # Tiny test budgets can finish inside one heartbeat interval; any
+    # lines that did appear must be well-formed samples.
+    for line in beats_path.read_text().splitlines():
+        assert "cycle" in json.loads(line)

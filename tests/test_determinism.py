@@ -1,0 +1,35 @@
+"""Reproducibility guarantee: the same config and seed must produce a
+byte-identical probe snapshot across fresh simulations.
+
+Everything downstream leans on this -- the content-addressed store, the
+diff engine's noise model (seed repeats are the *only* sanctioned source
+of variation), and the perf gate's "simulated counters are deterministic"
+assumption."""
+
+from repro.analysis.artifact import canonical_json
+from repro.analysis.experiments import build_simulation
+from repro.analysis.snapshot import capture
+
+
+def _snapshot_bytes(workload, cpu, os_mode, seed, instructions):
+    sim = build_simulation(workload, cpu, os_mode, seed=seed)
+    sim.run(max_instructions=instructions)
+    return canonical_json(capture(sim)["probes"]).encode()
+
+
+def test_same_config_and_seed_is_byte_identical():
+    a = _snapshot_bytes("specint", "smt", "full", seed=11, instructions=4_000)
+    b = _snapshot_bytes("specint", "smt", "full", seed=11, instructions=4_000)
+    assert a == b
+
+
+def test_apache_full_is_byte_identical_too():
+    a = _snapshot_bytes("apache", "smt", "full", seed=23, instructions=4_000)
+    b = _snapshot_bytes("apache", "smt", "full", seed=23, instructions=4_000)
+    assert a == b
+
+
+def test_different_seeds_actually_differ():
+    a = _snapshot_bytes("specint", "smt", "full", seed=11, instructions=4_000)
+    b = _snapshot_bytes("specint", "smt", "full", seed=12, instructions=4_000)
+    assert a != b  # otherwise the diff engine's noise bands are meaningless

@@ -118,6 +118,7 @@ def test_histogram_buckets_and_overflow():
     assert snap["count"] == 5
     assert snap["sum"] == 5122
     assert snap["buckets"] == [2, 2, 1]  # <=10, <=100, overflow
+    assert snap["bounds"] == [10, 100]  # self-describing for percentiles
 
 
 def test_histogram_bounds_must_ascend():
@@ -132,7 +133,36 @@ def test_histogram_through_registry_snapshot():
     h = reg.histogram("os.syscall_latency_cycles", bounds=(10,))
     h.observe(3)
     snap = reg.snapshot()["os.syscall_latency_cycles"]
-    assert snap == {"count": 1, "sum": 3, "buckets": [1, 0]}
+    assert snap == {"count": 1, "sum": 3, "bounds": [10], "buckets": [1, 0]}
+
+
+def test_histogram_percentiles():
+    h = Histogram("os.syscall_latency_cycles", bounds=(10, 100, 1000))
+    for v in (5,) * 50 + (50,) * 40 + (500,) * 9 + (5000,):
+        h.observe(v)
+    # p50 falls exactly at the end of the first bucket (50 of 100 obs).
+    assert h.p50 == pytest.approx(10.0)
+    # p95: rank 95 is the 5th of 9 observations in (100, 1000].
+    assert h.p95 == pytest.approx(100 + 900 * 5 / 9)
+    assert h.p99 == pytest.approx(1000.0)
+    assert h.percentile(1.0) == pytest.approx(1000.0)  # overflow clips
+    with pytest.raises(ValueError):
+        h.percentile(0.0)
+    assert Histogram("x", bounds=(4,)).p95 == 0.0  # empty histogram
+
+
+def test_snapshot_percentile_matches_live_histogram():
+    from repro.obs.registry import snapshot_percentile
+
+    h = Histogram("os.syscall_latency_cycles")
+    for v in (3, 17, 40, 900, 20000):
+        h.observe(v)
+    snap = h.snapshot()
+    for q in (0.5, 0.95, 0.99):
+        assert snapshot_percentile(snap, q) == pytest.approx(h.percentile(q))
+    # Pre-v3 snapshots (no bounds) fall back to the default buckets.
+    legacy = {k: v for k, v in snap.items() if k != "bounds"}
+    assert snapshot_percentile(legacy, 0.5) == pytest.approx(h.p50)
 
 
 # -- CounterGroup -----------------------------------------------------------
