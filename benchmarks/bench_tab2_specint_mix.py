@@ -8,7 +8,6 @@ taken rate.
 
 from repro.analysis import tables
 from repro.analysis.experiments import get_run
-from repro.isa.types import Mode
 
 
 def test_tab2_specint_instruction_mix(benchmark, emit):

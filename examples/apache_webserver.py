@@ -9,7 +9,7 @@ Run:  python examples/apache_webserver.py
 """
 
 from repro.core import Simulation
-from repro.core.stats import service_class, CLASS_KERNEL
+from repro.core.stats import CLASS_KERNEL, service_class
 from repro.workloads import ApacheWorkload
 
 

@@ -28,10 +28,10 @@ Quickstart::
 or, from a shell: ``python -m repro table 6``.
 """
 
-__version__ = "1.0.0"
-
 from repro.core import MachineConfig, Simulation
 from repro.workloads import ApacheWorkload, SpecIntWorkload
+
+__version__ = "1.0.0"
 
 __all__ = ["MachineConfig", "Simulation", "ApacheWorkload", "SpecIntWorkload",
            "__version__"]

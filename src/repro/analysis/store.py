@@ -98,7 +98,7 @@ class RunStore:
         if not self.root.is_dir():
             return None
         suffix = f"-{fingerprint[:_NAME_HASH_LEN]}.json"
-        for path in self.root.glob(f"*{suffix}"):
+        for path in sorted(self.root.glob(f"*{suffix}")):
             try:
                 artifact = RunArtifact.loads(path.read_text())
             except (ArtifactError, OSError):
@@ -176,7 +176,7 @@ class RunStore:
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in self.root.glob("*.json"):
+        for path in sorted(self.root.glob("*.json")):
             try:
                 path.unlink()
                 removed += 1

@@ -8,8 +8,10 @@
     python -m repro figure 6
     python -m repro report --out EXPERIMENTS_GENERATED.md
     python -m repro cache ls
+    python -m repro cache ls --verify
     python -m repro cache gc --dry-run
     python -m repro cache clear
+    python -m repro lint --json findings.json
     python -m repro list
     python -m repro counters specint --grep mem.l2
     python -m repro counters specint --against specint-ss-full
@@ -28,7 +30,10 @@ trajectory files, and gates regressions with ``--check``; ``trace``
 re-runs a workload with the event bus attached and exports a Chrome
 ``trace_event`` file (open in Perfetto / ``chrome://tracing``);
 ``profile`` times the simulator's own components (see
-``docs/observability.md``).  Runs resolve through the content-addressed
+``docs/observability.md``); ``lint`` runs the AST-based invariant
+checks -- determinism, probe hygiene, schema/fingerprint drift -- and
+``cache ls --verify`` re-fingerprints every stored artifact (see
+``docs/static-analysis.md``).  Runs resolve through the content-addressed
 on-disk store (default ``.repro_cache/``, override with
 ``REPRO_CACHE_DIR``), so only the first invocation *anywhere* pays the
 simulation cost; ``REPRO_BUDGET_MULT`` scales the instruction budgets
@@ -73,7 +78,7 @@ def _cmd_run(args) -> int:
     print(f"steady-state window: {w['retired']:,} instructions, "
           f"{w['cycles']:,} cycles")
     print(f"IPC                 {metrics.ipc(w):.2f}")
-    print(f"cycles by class     " + "  ".join(
+    print("cycles by class     " + "  ".join(
         f"{k}={v * 100:.1f}%" for k, v in shares.items()))
     print(f"L1I miss            {metrics.miss_rate(w, 'L1I') * 100:.2f}%")
     print(f"L1D miss            {metrics.miss_rate(w, 'L1D') * 100:.2f}%")
@@ -165,6 +170,8 @@ def _cmd_cache(args) -> int:
         removed = store.clear()
         print(f"removed {removed} stored run(s) from {store.root}")
         return 0
+    if args.cache_command == "ls" and args.verify:
+        return _cache_verify(store)
     if args.cache_command == "gc":
         stale = store.gc(dry_run=args.dry_run)
         if not stale:
@@ -203,6 +210,62 @@ def _cmd_cache(args) -> int:
                     "will re-run on next use]")
     print(summary)
     return 0
+
+
+def _cache_verify(store) -> int:
+    """``repro cache ls --verify``: re-fingerprint every stored entry.
+
+    The runtime companion to the lint S-rules: loads each current-schema
+    artifact, recomputes ``run_fingerprint`` over its spec, and flags any
+    entry whose stored identity no longer matches its config (a knob
+    that skipped the hash, a hand-edited file, or fingerprint-logic
+    drift).  Exits nonzero when a mismatch is found.
+    """
+    from repro.analysis.artifact import (SCHEMA_VERSION, ArtifactError,
+                                         RunArtifact, run_fingerprint)
+
+    entries = store.entries()
+    # entries() silently skips files it cannot parse; --verify must not.
+    known = {entry.path for entry in entries}
+    orphans = [p for p in sorted(store.root.glob("*.json"))
+               if p not in known] if store.root.is_dir() else []
+    if not entries and not orphans:
+        print(f"store {store.root} is empty")
+        return 0
+    bad = 0
+    checked = 0
+    for path in orphans:
+        bad += 1
+        print(f"  {'?':24s} UNREADABLE  not parseable as an artifact "
+              f"({path.name})")
+    for entry in entries:
+        if entry.schema_version != SCHEMA_VERSION:
+            print(f"  {entry.label:24s} SKIP      stale schema "
+                  f"v{entry.schema_version} ({entry.path.name})")
+            continue
+        try:
+            artifact = RunArtifact.loads(entry.path.read_text())
+        except (ArtifactError, OSError) as exc:
+            bad += 1
+            print(f"  {entry.label:24s} UNREADABLE  {exc} "
+                  f"({entry.path.name})")
+            continue
+        checked += 1
+        expected = run_fingerprint(artifact.spec)
+        if artifact.fingerprint != expected:
+            bad += 1
+            print(f"  {entry.label:24s} MISMATCH  stored "
+                  f"{artifact.fingerprint[:16]} != spec "
+                  f"{expected[:16]}  ({entry.path.name})")
+        elif entry.fingerprint != artifact.fingerprint:
+            bad += 1
+            print(f"  {entry.label:24s} MISMATCH  filename/payload "
+                  f"fingerprint disagree ({entry.path.name})")
+        else:
+            print(f"  {entry.label:24s} ok        "
+                  f"{artifact.fingerprint[:16]}")
+    print(f"{checked} verified, {bad} problem(s) in {store.root}")
+    return 1 if bad else 0
 
 
 def _cmd_counters(args) -> int:
@@ -521,6 +584,9 @@ def main(argv=None) -> int:
     p_cache.add_argument("cache_command", choices=["ls", "gc", "clear"])
     p_cache.add_argument("--dry-run", action="store_true", dest="dry_run",
                          help="gc: list stale entries without deleting them")
+    p_cache.add_argument("--verify", action="store_true",
+                         help="ls: re-fingerprint every entry and flag "
+                              "config/fingerprint mismatches")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_cnt = sub.add_parser(
@@ -642,6 +708,10 @@ def main(argv=None) -> int:
 
     p_list = sub.add_parser("list", help="list runs and exhibits")
     p_list.set_defaults(func=_cmd_list)
+
+    from repro.lint.cli import add_parser as _add_lint_parser
+
+    _add_lint_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -114,7 +114,8 @@ class Region:
         for i in range(n_lines):
             page = i % self.hot_pages
             line_offset = rng.randrange(0, PAGE_SIZE, 64)
-            addresses.append(self.base + page * PAGE_SIZE + line_offset + rng.randrange(0, 64, WORD))
+            addresses.append(self.base + page * PAGE_SIZE + line_offset
+                             + rng.randrange(0, 64, WORD))
         return tuple(addresses)
 
 

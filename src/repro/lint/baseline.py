@@ -1,0 +1,76 @@
+"""Finding baselines: grandfather existing findings, fail on new ones.
+
+A baseline is a committed JSON file mapping finding *keys* (rule + path
++ stable detail token -- no line numbers, so unrelated edits don't
+invalidate it) to occurrence counts.  ``repro lint`` subtracts the
+baseline from the current findings and exits nonzero only when
+something *new* appears; fixing a baselined finding, then regenerating,
+shrinks the file (ratchet semantics).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.lint.engine import Finding
+
+#: Default baseline filename, looked up in the lint invocation's cwd.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Occurrence counts of grandfathered finding keys."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(f.key for f in findings))
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into (new, baselined).
+
+        Multiset semantics: a key baselined N times silences the first N
+        occurrences and lets the (N+1)-th through as new.
+        """
+        budget = Counter(self.counts)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            if budget[finding.key] > 0:
+                budget[finding.key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def to_json_dict(self) -> dict:
+        return {"version": 1,
+                "findings": dict(sorted(self.counts.items()))}
+
+
+def load_baseline(path: str | pathlib.Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return Baseline()
+    try:
+        payload = json.loads(path.read_text())
+        raw = payload.get("findings", {})
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read baseline {path}: {exc}")
+    if isinstance(raw, list):  # tolerate a bare list of keys
+        return Baseline(Counter(raw))
+    return Baseline(Counter({str(k): int(v) for k, v in raw.items()}))
+
+
+def write_baseline(path: str | pathlib.Path, findings: list[Finding]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    baseline = Baseline.from_findings(findings)
+    path.write_text(json.dumps(baseline.to_json_dict(), indent=2,
+                               sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,122 @@
+"""``repro lint`` command implementation.
+
+Kept out of :mod:`repro.cli` so the engine stays importable without
+argparse plumbing, and the top-level CLI stays a thin dispatcher.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.lint.baseline import (DEFAULT_BASELINE, load_baseline,
+                                 write_baseline)
+from repro.lint.engine import LintEngine, findings_to_json, render_report
+from repro.lint.rules_probes import ProbeRules, write_manifest
+from repro.lint.rules_schema import SchemaRules, write_shapes
+
+#: Default scan root, relative to the invocation directory.
+DEFAULT_ROOT = "src/repro"
+
+
+def add_parser(sub) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="static invariant checks: determinism, probe hygiene, "
+             "schema/fingerprint drift")
+    p.add_argument("root", nargs="?", default=None,
+                   help=f"directory (or file) to scan (default: "
+                        f"{DEFAULT_ROOT}, falling back to the package "
+                        "source when run elsewhere)")
+    p.add_argument("--rule", action="append", default=None, metavar="ID",
+                   help="run only these rules (exact id or family prefix, "
+                        "e.g. --rule D --rule S101); repeatable")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file of grandfathered findings "
+                        f"(default: {DEFAULT_BASELINE} next to the scan "
+                        "root, when present)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings "
+                        "and exit 0")
+    p.add_argument("--update", action="store_true",
+                   help="regenerate the committed probe manifest and "
+                        "schema shape digests from the current tree")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write a machine-readable findings report "
+                        "('-' for stdout)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=run_lint)
+
+
+def _resolve_root(arg: str | None) -> pathlib.Path:
+    if arg is not None:
+        root = pathlib.Path(arg)
+        if not root.exists():
+            raise SystemExit(f"lint root {arg!r} does not exist")
+        return root
+    root = pathlib.Path(DEFAULT_ROOT)
+    if root.is_dir():
+        return root
+    # Running from outside a checkout: lint the installed package tree.
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_lint(args) -> int:
+    if args.list_rules:
+        for rule in LintEngine(pathlib.Path(".")).rules:
+            if rule.id.endswith("00"):  # internal collectors
+                continue
+            print(f"  {rule.id}  {rule.title}")
+        return 0
+
+    root = _resolve_root(args.root)
+    engine = LintEngine(root)
+    if args.rule:
+        engine.select(args.rule)
+    findings = engine.run()
+
+    if args.update:
+        for rule in engine.rules:
+            if isinstance(rule, ProbeRules):
+                print(f"wrote {write_manifest(root, rule.manifest())}")
+            if isinstance(rule, SchemaRules):
+                print(f"wrote {write_shapes(root, rule)}")
+        # Re-run: drift findings must now be gone, the rest still count.
+        engine = LintEngine(root)
+        if args.rule:
+            engine.select(args.rule)
+        findings = engine.run()
+
+    baseline_path = pathlib.Path(
+        args.baseline if args.baseline else DEFAULT_BASELINE)
+    if args.update_baseline:
+        path = write_baseline(baseline_path, findings)
+        print(f"baselined {len(findings)} finding(s) -> {path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, old = baseline.split(findings)
+    new_keys = {f.key for f in new}
+    if args.json:
+        text = findings_to_json(findings, new_keys)
+        if args.json == "-":
+            # Pure JSON on stdout; the human report moves to stderr.
+            print(text)
+            if findings:
+                print(render_report(findings, new_keys,
+                                    baselined=len(old)), file=sys.stderr)
+            return 1 if new else 0
+        pathlib.Path(args.json).write_text(text + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if findings:
+        print(render_report(findings, new_keys, baselined=len(old)))
+    else:
+        scanned = len(engine.files)
+        print(f"repro lint: clean ({scanned} files, "
+              f"{len(engine.rules)} rules)")
+    stale = sum(baseline.counts.values()) - len(old)
+    if stale > 0:
+        print(f"note: {stale} baselined finding(s) no longer occur; "
+              "shrink the baseline with --update-baseline")
+    return 1 if new else 0

@@ -140,7 +140,8 @@ class MemoryHierarchy:
         self._port_used = 1
         return self._port_cycle
 
-    def data_access(self, now: int, addr: int, tid: int, kind: int, write: bool = False) -> AccessResult:
+    def data_access(self, now: int, addr: int, tid: int, kind: int,
+                    write: bool = False) -> AccessResult:
         """Access the data side; returns total latency from *now*."""
         cfg = self.config
         if self.omit_kernel_refs and kind:  # ModeKind.KERNEL

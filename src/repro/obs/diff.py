@@ -304,7 +304,7 @@ def diff_runs(
     mean_b, band_b = mean_and_band(
         [b.window(window) for b in arts_b], per_kilo=per_kilo)
     bands = {name: band_a.get(name, 0.0) + band_b.get(name, 0.0)
-             for name in set(band_a) | set(band_b)}
+             for name in sorted(set(band_a) | set(band_b))}
 
     def _identity(spec: dict) -> tuple[str, str]:
         label = "-".join((spec["workload"], spec["cpu"],

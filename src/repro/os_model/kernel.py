@@ -247,16 +247,28 @@ class MiniDUX:
         # lines per page): the shared 128-entry DTLB must fit the combined
         # kernel + user working set the way the paper's machine does, while
         # the caches still see a large line-granular kernel footprint.
-        self.reg_vfs = Region("k:vfs", virt(0), 24, 6, hot_lines=48, weight=0.5, p_hot=0.95, shared=True)
-        self.reg_proc = Region("k:proc", virt(1), 12, 3, hot_lines=24, weight=0.2, p_hot=0.95, shared=True)
-        self.reg_net = Region("k:net", virt(2), 16, 5, hot_lines=36, weight=0.3, p_hot=0.95, shared=True)
-        self.reg_malloc = Region("k:malloc", virt(3), 24, 5, hot_lines=36, weight=0.35, p_hot=0.95, shared=True)
-        self.reg_sockbuf = Region("k:sockbuf", virt(4), 24, 6, hot_lines=48, weight=0.3, p_hot=0.95, shared=True)
+        self.reg_vfs = Region("k:vfs", virt(0), 24, 6, hot_lines=48,
+                              weight=0.5, p_hot=0.95, shared=True)
+        self.reg_proc = Region("k:proc", virt(1), 12, 3, hot_lines=24,
+                               weight=0.2, p_hot=0.95, shared=True)
+        self.reg_net = Region("k:net", virt(2), 16, 5, hot_lines=36,
+                              weight=0.3, p_hot=0.95, shared=True)
+        self.reg_malloc = Region("k:malloc", virt(3), 24, 5, hot_lines=36,
+                                 weight=0.35, p_hot=0.95, shared=True)
+        self.reg_sockbuf = Region("k:sockbuf", virt(4), 24, 6, hot_lines=48,
+                                  weight=0.3, p_hot=0.95, shared=True)
         self._kstack_base = virt(5)
-        self.reg_lockwords = Region("k:locks", virt(6), 1, 1, hot_lines=8, weight=0.0, shared=True)
-        self.reg_pagetable = Region("k:pt", phys(0), 32, 8, hot_lines=24, weight=0.3, p_hot=0.97, phys=True, shared=True)
-        self.reg_filecache = Region("k:filecache", phys(1), 128, 24, hot_lines=64, weight=0.5, p_hot=0.97, phys=True, shared=True)
-        self.reg_nicring = Region("k:nicring", phys(2), 8, 4, hot_lines=16, weight=0.12, p_hot=0.97, phys=True, shared=True)
+        self.reg_lockwords = Region("k:locks", virt(6), 1, 1, hot_lines=8,
+                                    weight=0.0, shared=True)
+        self.reg_pagetable = Region("k:pt", phys(0), 32, 8, hot_lines=24,
+                                    weight=0.3, p_hot=0.97, phys=True,
+                                    shared=True)
+        self.reg_filecache = Region("k:filecache", phys(1), 128, 24,
+                                    hot_lines=64, weight=0.5, p_hot=0.97,
+                                    phys=True, shared=True)
+        self.reg_nicring = Region("k:nicring", phys(2), 8, 4, hot_lines=16,
+                                  weight=0.12, p_hot=0.97, phys=True,
+                                  shared=True)
         self.reg_pal = Region("k:pal", phys(3), 8, 4, hot_lines=16, phys=True)
 
     def _kstack_region(self, tid: int) -> Region:

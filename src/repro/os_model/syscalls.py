@@ -76,10 +76,13 @@ SYSCALL_CATALOG: dict[str, SyscallSpec] = dict(
         _spec("fcntl", SyscallCategory.FILE_CONTROL, 260),
         # Network.  Socket reads/writes reuse the rw entry but spend their
         # time in the socket layer segment.
-        _spec("sock_read", SyscallCategory.NET_READ_WRITE, 950, segment="sys_socket", lock="socket", blocking=True, display="read"),
+        _spec("sock_read", SyscallCategory.NET_READ_WRITE, 950,
+              segment="sys_socket", lock="socket", blocking=True,
+              display="read"),
         _spec("writev", SyscallCategory.NET_READ_WRITE, 1100, segment="sys_socket", lock="socket"),
         _spec("send", SyscallCategory.NET_READ_WRITE, 900, segment="sys_socket", lock="socket"),
-        _spec("accept", SyscallCategory.NET_CONTROL, 950, segment="sys_sockctl", lock="socket", blocking=True),
+        _spec("accept", SyscallCategory.NET_CONTROL, 950,
+              segment="sys_sockctl", lock="socket", blocking=True),
         _spec("select", SyscallCategory.NET_CONTROL, 680, segment="sys_sockctl", blocking=True),
         _spec("setsockopt", SyscallCategory.NET_CONTROL, 300, segment="sys_sockctl"),
         _spec("getsockname", SyscallCategory.NET_CONTROL, 240, segment="sys_sockctl"),

@@ -6,6 +6,11 @@ import random
 
 import pytest
 
+from repro.isa.code import CodeModel, CodeModelConfig, CodeWalker, SegmentSpec
+from repro.isa.data import DataModel, Region
+from repro.isa.mix import BranchProfile, InstructionMix
+from repro.isa.types import Mode
+
 
 @pytest.fixture(scope="session")
 def session_store_dir(tmp_path_factory):
@@ -22,11 +27,6 @@ def _isolated_run_store(session_store_dir, monkeypatch):
     within one session (that sharing is the store working as designed).
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(session_store_dir))
-
-from repro.isa.code import CodeModel, CodeModelConfig, CodeWalker, SegmentSpec
-from repro.isa.data import DataModel, Region
-from repro.isa.mix import BranchProfile, InstructionMix
-from repro.isa.types import Mode
 
 
 @pytest.fixture

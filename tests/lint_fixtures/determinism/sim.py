@@ -1,0 +1,33 @@
+"""Fixture: one seeded violation per D-rule (see tests/test_lint.py)."""
+
+import glob
+import random
+import time
+
+
+def jitter():
+    return random.random()  # D101
+
+
+def stamp():
+    return time.time()  # D102
+
+
+def drain(items):
+    for item in {1, 2, 3}:  # D103
+        items.append(item)
+    for path in glob.glob("*.json"):  # D104
+        items.append(path)
+    return sorted(items, key=id)  # D105
+
+
+def host_side_jitter():
+    return random.random()  # lint: ignore[D101]
+
+
+def shielded(paths):
+    # Order-insensitive consumers: none of these may be flagged.
+    ordered = sorted(glob.glob("*.json"))
+    count = len({1, 2, 3})
+    total = sum(x for x in {4, 5, 6})
+    return ordered, count, total

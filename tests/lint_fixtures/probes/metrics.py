@@ -1,0 +1,14 @@
+"""Fixture: one seeded violation per P-rule (see tests/test_lint.py)."""
+
+
+class Metrics:
+    def __init__(self, registry):
+        self.registry = registry
+        self.hits = registry.counter("mem.cache.hits")
+        registry.counter("mem.cache.orphan")  # P102: handle discarded
+        self.bad = registry.counter("bogus.cache.hits")  # P103: bad root
+
+    def report(self):
+        good = self.registry.get("mem.cache.hits")
+        typo = self.registry.get("mem.cache.hit")  # P101: never registered
+        return good, typo

@@ -1,0 +1,13 @@
+"""Fixture: S101 -- a config field the fingerprint never sees."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureConfig:
+    width: int = 4
+    depth: int = 2  # S101: sim_params below never references this
+
+
+def sim_params(machine):
+    return {"width": machine.width}

@@ -1,0 +1,50 @@
+"""Tests for ``repro cache ls --verify`` (runtime fingerprint audit)."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import build_simulation, run_windowed
+from repro.analysis.store import RunStore
+from repro.cli import _cache_verify
+
+
+@pytest.fixture(scope="module")
+def tiny_artifact():
+    sim = build_simulation("specint", "smt", "full", seed=47)
+    startup, steady, total = run_windowed(sim, budget=40_000)
+    return sim.to_artifact(startup, steady, total,
+                           spec_extra={"workload": "specint", "cpu": "smt",
+                                       "os_mode": "full",
+                                       "instructions": 40_000, "seed": 47})
+
+
+def test_verify_clean_store(tmp_path, tiny_artifact, capsys):
+    store = RunStore(tmp_path)
+    store.put(tiny_artifact)
+    assert _cache_verify(store) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out and "MISMATCH" not in out
+
+
+def test_verify_flags_spec_tamper(tmp_path, tiny_artifact, capsys):
+    store = RunStore(tmp_path)
+    path = store.put(tiny_artifact)
+    payload = json.loads(path.read_text())
+    payload["spec"]["seed"] = 999  # stored identity no longer matches spec
+    path.write_text(json.dumps(payload))
+    assert _cache_verify(store) == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_verify_flags_unreadable_entry(tmp_path, tiny_artifact, capsys):
+    store = RunStore(tmp_path)
+    path = store.put(tiny_artifact)
+    path.write_text("{not json")
+    assert _cache_verify(store) == 1
+    assert "UNREADABLE" in capsys.readouterr().out
+
+
+def test_verify_empty_store(tmp_path, capsys):
+    store = RunStore(tmp_path)
+    assert _cache_verify(store) == 0

@@ -14,7 +14,7 @@ from repro.analysis.export import (
 )
 from repro.analysis.sweeps import Sweep, SweepPoint
 from repro.core.config import MachineConfig
-from repro.os_model.kernel import KERNEL_SEGMENTS, MiniDUX
+from repro.os_model.kernel import KERNEL_SEGMENTS
 from repro.os_model.syscalls import SYSCALL_CATALOG, catalog_segments
 
 

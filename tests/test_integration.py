@@ -7,7 +7,7 @@ invariants the unit tests cannot see.
 
 import pytest
 
-from repro.core.config import CPUConfig, MachineConfig
+from repro.core.config import MachineConfig
 from repro.core.simulator import Simulation
 from repro.os_model.kernel import OSMode
 from repro.workloads.apache import ApacheWorkload

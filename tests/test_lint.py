@@ -1,0 +1,227 @@
+"""Tests for ``repro lint``: rule families, baseline ratchet, CLI."""
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import LintEngine
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCAN_ROOT = REPO / "src" / "repro"
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+
+
+def run_engine(root):
+    engine = LintEngine(pathlib.Path(root))
+    return engine, engine.run()
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+def idents(findings, rule):
+    return {f.ident for f in findings if f.rule == rule}
+
+
+# -- fixture trees: one seeded violation per rule ---------------------------
+
+
+def test_determinism_fixture_trips_every_d_rule():
+    _, findings = run_engine(FIXTURES / "determinism")
+    assert rule_ids(findings) == {"D101", "D102", "D103", "D104", "D105"}
+    # one finding per rule: the suppressed call and the shielded
+    # (sorted/len/sum-wrapped) uses must not be flagged
+    assert len(findings) == 5
+
+
+def test_probe_fixture_trips_every_p_rule():
+    _, findings = run_engine(FIXTURES / "probes")
+    assert rule_ids(findings) == {"P101", "P102", "P103", "P104"}
+    assert idents(findings, "P101") == {"mem.cache.hit"}
+    assert idents(findings, "P102") == {"mem.cache.orphan"}
+    assert idents(findings, "P103") == {"bogus.cache.hits"}
+    # drift both ways: extra registrations and a removed manifest name
+    assert idents(findings, "P104") == {
+        "+mem.cache.orphan", "+bogus.cache.hits", "-mem.cache.gone"}
+
+
+def test_schema_fixture_flags_unreachable_config_field():
+    _, findings = run_engine(FIXTURES / "schema")
+    assert rule_ids(findings) == {"S101"}
+    assert idents(findings, "S101") == {"FixtureConfig.depth"}
+
+
+def test_rule_selection(tmp_path):
+    engine = LintEngine(FIXTURES / "determinism")
+    engine.select(["D103"])
+    assert {f.rule for f in engine.run()} == {"D103"}
+
+
+# -- the repository itself must be clean ------------------------------------
+
+
+def test_repo_tree_is_clean():
+    _, findings = run_engine(SCAN_ROOT)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_json_output_and_exit_zero_on_repo():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--json", "-"],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout[proc.stdout.index("{"):])
+    assert payload["findings"] == []
+
+
+def test_cli_exit_nonzero_on_fixture_tree():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint",
+         str(FIXTURES / "determinism")],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")})
+    assert proc.returncode == 1
+    assert "D101" in proc.stdout
+
+
+# -- acceptance scenarios: typo'd probe, omitted config field ---------------
+
+
+def copy_tree(tmp_path):
+    dest = tmp_path / "repro"
+    shutil.copytree(SCAN_ROOT, dest)
+    return dest
+
+
+def test_probe_name_typo_is_caught(tmp_path):
+    dest = copy_tree(tmp_path)
+    kernel = dest / "os_model" / "kernel.py"
+    text = kernel.read_text()
+    assert "os.syscall_latency_cycles" in text
+    kernel.write_text(
+        text.replace("os.syscall_latency_cycles", "os.syscal_latency_cycles"))
+    _, findings = run_engine(dest)
+    assert "P104" in rule_ids(findings)
+    assert "+os.syscal_latency_cycles" in idents(findings, "P104")
+    assert "-os.syscall_latency_cycles" in idents(findings, "P104")
+    # the reader of the old name now reads an unknown probe
+    assert "os.syscall_latency_cycles" in idents(findings, "P101")
+
+
+def test_new_config_field_outside_fingerprint_is_caught(tmp_path):
+    dest = copy_tree(tmp_path)
+    config = dest / "core" / "config.py"
+    text = config.read_text()
+    assert "n_contexts: int = 8" in text
+    config.write_text(text.replace(
+        "n_contexts: int = 8",
+        "n_contexts: int = 8\n    rob_entries: int = 64"))
+    _, findings = run_engine(dest)
+    assert "S102" in rule_ids(findings)
+
+
+def test_snapshot_shape_change_without_version_bump_is_caught(tmp_path):
+    dest = copy_tree(tmp_path)
+    registry = dest / "obs" / "registry.py"
+    text = registry.read_text()
+    assert "def snapshot" in text
+    # grow the registry snapshot payload without touching SCHEMA_VERSION
+    marker = "def snapshot(self)"
+    idx = text.index(marker)
+    body_start = text.index("\n", text.index(":", idx)) + 1
+    indent = "        "
+    text = (text[:body_start]
+            + f"{indent}_shape_probe = 1  # structural edit\n"
+            + text[body_start:])
+    registry.write_text(text)
+    _, findings = run_engine(dest)
+    assert "S103" in rule_ids(findings)
+
+
+def test_dead_simulator_knob_is_caught(tmp_path):
+    dest = copy_tree(tmp_path)
+    sim = dest / "core" / "simulator.py"
+    text = sim.read_text()
+    assert '"spin_policy"' in text
+    # declare a knob that Simulation.__init__ does not accept
+    text = text.replace('"spin_policy"', '"spin_policyy"', 1)
+    sim.write_text(text)
+    _, findings = run_engine(dest)
+    assert "S101" in rule_ids(findings)
+    assert any(i.startswith("dead-knob.") or i.startswith("knob.")
+               for i in idents(findings, "S101"))
+
+
+# -- baseline ratchet -------------------------------------------------------
+
+
+def test_baseline_roundtrip(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    bad = tree / "mod.py"
+    bad.write_text("import random\n\n\ndef f():\n    return random.random()\n")
+    _, findings = run_engine(tree)
+    assert rule_ids(findings) == {"D101"}
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    baseline = load_baseline(baseline_path)
+
+    # baselined: the same finding splits as old, nothing new
+    new, old = baseline.split(findings)
+    assert new == [] and len(old) == 1
+
+    # a second occurrence of the same key is new (multiset semantics)
+    new, old = baseline.split(findings + findings)
+    assert len(new) == 1 and len(old) == 1
+
+    # fixing the finding leaves the baseline stale but nothing fails
+    bad.write_text("def f():\n    return 4\n")
+    _, findings = run_engine(tree)
+    assert findings == []
+    new, old = baseline.split(findings)
+    assert new == [] and old == []
+    assert sum(baseline.counts.values()) == 1  # stale entry remains
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "nope.json")
+    assert baseline.counts == {}
+
+
+def test_inline_suppression(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "mod.py").write_text(
+        "import random\n\n\ndef f():\n"
+        "    return random.random()  # lint: ignore[D101]\n")
+    _, findings = run_engine(tree)
+    assert findings == []
+
+
+def test_parse_error_is_reported(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "broken.py").write_text("def f(:\n")
+    _, findings = run_engine(tree)
+    assert rule_ids(findings) == {"E000"}
+
+
+# -- generic style gate (ruff) ----------------------------------------------
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed in this environment")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
+        capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -138,7 +138,7 @@ def test_jsonl_sink_appends_one_object_per_beat(tmp_path):
     sink({"cycle": 1})
     sink({"cycle": 2})
     sink.close()
-    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
     assert lines == [{"cycle": 1}, {"cycle": 2}]
 
 

@@ -6,8 +6,8 @@ import pytest
 
 from repro.isa.data import PAGE_SIZE
 from repro.os_model.address_space import (
-    AddressSpace,
     KERNEL_VIRT_BASE,
+    AddressSpace,
     is_kernel_address,
     user_base,
 )

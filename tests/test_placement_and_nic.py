@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 from repro.memory.cache import Cache, placement_index
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.net.packets import Packet
-from repro.net.nic import NIC
 from repro.net.stack import NetworkStack
 from repro.os_model.kernel import MiniDUX
 

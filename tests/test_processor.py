@@ -3,15 +3,11 @@
 import random
 from collections import deque
 
-import pytest
-
 from repro.core.config import CPUConfig
 from repro.core.processor import Processor
 from repro.core.stats import SimStats
 from repro.isa.instruction import (
     Instruction,
-    ST_COMPLETED,
-    ST_RETIRED,
     ST_SQUASHED,
 )
 from repro.isa.types import InstrType, Mode

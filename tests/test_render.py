@@ -25,8 +25,8 @@ def test_format_table_number_precision():
 def test_format_bars_scales_to_peak():
     text = format_bars("B", [("big", 50.0), ("small", 5.0)], width=10)
     lines = text.splitlines()
-    big = next(l for l in lines if l.startswith("big"))
-    small = next(l for l in lines if l.startswith("small"))
+    big = next(ln for ln in lines if ln.startswith("big"))
+    small = next(ln for ln in lines if ln.startswith("small"))
     assert big.count("#") == 10
     assert 0 <= small.count("#") <= 2
 

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.os_model.address_space import AddressSpace
 from repro.os_model.scheduler import Scheduler
 from repro.os_model.thread import SoftwareThread, ThreadState
