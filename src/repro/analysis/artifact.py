@@ -31,7 +31,9 @@ from dataclasses import dataclass, field
 #: ``probes`` (see repro.obs.registry).
 #: v3: histogram probe snapshots embed their bucket ``bounds`` so stored
 #: windows are self-describing for percentile computation.
-SCHEMA_VERSION = 3
+#: v4: artifacts carry a ``flags`` list marking degraded provenance
+#: (e.g. ``"truncated"`` when a max-cycle budget cut the run short).
+SCHEMA_VERSION = 4
 
 #: Coarse code-version tag folded into every fingerprint.  Bump when the
 #: *simulator's* behavior changes (new counters, different scheduling,
@@ -73,7 +75,9 @@ class RunArtifact:
     config fingerprint params); ``startup``/``steady``/``total`` are the
     counter windows; ``timeline`` is the mode-class time series behind
     Figures 1/5; ``marks`` is a list of ``[thread, label, cycle]`` phase
-    marks.
+    marks.  ``flags`` marks degraded provenance (``"truncated"`` when a
+    max-cycle budget cut the run short of its instruction budget); a
+    normal run's flags are empty.
     """
 
     spec: dict
@@ -84,6 +88,7 @@ class RunArtifact:
     startup: dict
     steady: dict
     total: dict
+    flags: list = field(default_factory=list)
     schema_version: int = SCHEMA_VERSION
     fingerprint: str = field(default="")
 
@@ -94,6 +99,7 @@ class RunArtifact:
         self.startup = _plain(self.startup)
         self.steady = _plain(self.steady)
         self.total = _plain(self.total)
+        self.flags = _plain(self.flags)
         if not self.fingerprint:
             self.fingerprint = run_fingerprint(self.spec)
 
@@ -139,6 +145,7 @@ class RunArtifact:
             "startup": self.startup,
             "steady": self.steady,
             "total": self.total,
+            "flags": self.flags,
         }
 
     @classmethod
@@ -159,6 +166,7 @@ class RunArtifact:
                 startup=payload["startup"],
                 steady=payload["steady"],
                 total=payload["total"],
+                flags=payload.get("flags") or [],
                 schema_version=version,
                 fingerprint=payload["fingerprint"],
             )

@@ -168,39 +168,88 @@ def build_simulation(workload: str, cpu: str, os_mode: str, seed: int = 11) -> S
     )
 
 
-def run_windowed(sim: Simulation, budget: int) -> tuple[dict, dict, dict]:
-    """Run *sim* for *budget* instructions, splitting at workload warm-up."""
+def run_windowed(sim: Simulation, budget: int,
+                 max_cycles: int | None = None) -> tuple[dict, dict, dict]:
+    """Run *sim* for *budget* instructions, splitting at workload warm-up.
+
+    With *max_cycles* (an absolute cycle budget), the run is truncated
+    gracefully once that many cycles elapse, whatever window it is in;
+    the caller is responsible for flagging the resulting artifact.
+    """
     boot = capture(sim)
     cap = int(budget * STARTUP_BUDGET_CAP)
     while not sim.workload.warmed_up(sim.os) and sim.stats.retired < cap:
-        sim.run(max_instructions=min(cap, sim.stats.retired + _WARMUP_CHUNK))
+        if max_cycles is not None and sim.now >= max_cycles:
+            break
+        sim.run(max_instructions=min(cap, sim.stats.retired + _WARMUP_CHUNK),
+                max_cycles=max_cycles)
     mid = capture(sim)
-    sim.run(max_instructions=budget)
+    sim.run(max_instructions=budget, max_cycles=max_cycles)
     end = capture(sim)
     return diff(mid, boot), diff(end, mid), diff(end, boot)
 
 
-def execute_spec(spec: dict, heartbeat=None) -> RunArtifact:
+def execute_spec(spec: dict, heartbeat=None, max_cycles: int | None = None,
+                 watchdog_cycles: int | None = None) -> RunArtifact:
     """Execute one run spec and freeze it into an artifact (no caching).
 
     This is the unit of work the parallel runner ships to worker
     processes; :func:`get_run` calls it on a cache miss.  With
     *heartbeat* (a :class:`~repro.obs.live.Heartbeat`), the simulation
-    emits live progress samples while it runs.
+    emits live progress samples while it runs.  *max_cycles* /
+    *watchdog_cycles* are supervision guardrails (see
+    :mod:`repro.analysis.supervisor`): the former truncates gracefully
+    at an absolute cycle budget and flags the artifact ``"truncated"``,
+    the latter turns a zero-progress machine into a diagnostic
+    :class:`~repro.core.simulator.NoProgressError`.  Neither enters the
+    fingerprint: a truncated artifact is flagged, never mistaken for a
+    full run by content.
     """
+    from repro import faults
+
+    label = f"{spec['workload']}-{spec['cpu']}-{spec['os_mode']}"
+    if faults.fire("sim.hang", label) is not None:
+        import time as _time
+        while True:  # injected hang: only a supervisor timeout ends this
+            _time.sleep(0.05)
     sim = build_simulation(spec["workload"], spec["cpu"], spec["os_mode"],
                            seed=spec["seed"])
     if heartbeat is not None:
         if heartbeat.target is None:
             heartbeat.target = spec["instructions"]
         sim.attach_heartbeat(heartbeat)
-    startup, steady, total = run_windowed(sim, spec["instructions"])
+    if watchdog_cycles is not None:
+        sim.attach_watchdog(watchdog_cycles)
+    stall = faults.fire("sim.stall", label)
+    if stall is not None:
+        # Starve the core: cycles elapse, nothing retires.  Without a
+        # watchdog this would spin to the cycle/instruction limit, so
+        # arm a default one to make the scenario self-terminating.
+        sim.processor.cycle = lambda now: None
+        if sim.watchdog_cycles is None:
+            sim.attach_watchdog(stall.arg or 20_000)
+    boom = faults.fire("sim.exception", label)
+    if boom is not None:
+        sim.run(max_instructions=spec["instructions"],
+                max_cycles=boom.arg or 2_000)
+        raise faults.InjectedFault(
+            "sim.exception",
+            f"injected mid-simulation exception at cycle {sim.now:,} "
+            f"({label})",
+            snapshot=sim.obs.snapshot())
+    cycle_cap = {} if max_cycles is None else {"max_cycles": max_cycles}
+    startup, steady, total = run_windowed(sim, spec["instructions"],
+                                          **cycle_cap)
     if heartbeat is not None:
         heartbeat.close()
+    flags = []
+    if sim.stats.retired < spec["instructions"]:
+        flags.append("truncated")
     artifact = sim.to_artifact(
         startup, steady, total,
         spec_extra={k: spec[k] for k in
                     ("workload", "cpu", "os_mode", "instructions", "seed")},
+        flags=flags,
     )
     if artifact.fingerprint != run_fingerprint(spec):  # pragma: no cover
         raise RuntimeError(

@@ -157,6 +157,23 @@ def _resolve_item(item) -> dict:
     return experiments.run_spec(wl, cpu, mode)
 
 
+def labels_for(items: list, resolved: list[dict]) -> list[str]:
+    """Result-dict keys for run_many items: ``workload-cpu-os_mode``,
+    plus ``-s<seed>`` for dict-form items and ``#n`` on collisions.
+    Shared with the supervised runner so both key results identically."""
+    labels: list[str] = []
+    for item, spec in zip(items, resolved):
+        label = _spec_label(spec)
+        if isinstance(item, dict):
+            label += f"-s{spec['seed']}"
+        n = 2
+        while label in labels:
+            label = f"{label}#{n}"
+            n += 1
+        labels.append(label)
+    return labels
+
+
 def run_many(
     specs=None,
     max_workers: int | None = None,
@@ -177,16 +194,7 @@ def run_many(
     items = list(specs) if specs is not None else list(CANONICAL_SPECS)
     store = store or RunStore()
     resolved = [_resolve_item(item) for item in items]
-    labels: list[str] = []
-    for item, spec in zip(items, resolved):
-        label = _spec_label(spec)
-        if isinstance(item, dict):
-            label += f"-s{spec['seed']}"
-        n = 2
-        while label in labels:
-            label = f"{label}#{n}"
-            n += 1
-        labels.append(label)
+    labels = labels_for(items, resolved)
     results: dict[str, RunArtifact] = {}
     todo: list[tuple[str, dict]] = []
     for label, spec in zip(labels, resolved):

@@ -12,20 +12,29 @@ simulator itself simply produces a different key and a cache miss.
 The store root defaults to ``.repro_cache/`` in the current directory and
 can be redirected with the ``REPRO_CACHE_DIR`` environment variable
 (tests point it at a temporary directory).  Files are written atomically
-(temp file + rename), and unreadable or schema-stale entries are treated
-as misses, never as errors.
+(temp file + rename) and carry a whole-payload ``content_hash``; on read
+that checksum is re-verified, and a corrupt entry is moved aside into
+``<root>/quarantine/`` (with a ``.why`` sidecar naming the reason) and
+treated as a miss -- never as an error.  Schema-stale entries stay in
+place as plain misses (``cache gc`` collects them), and interrupted
+atomic writes leave ``*.tmp.<pid>`` files that :meth:`RunStore.collect_tmp`
+(``repro cache gc``) reclaims.
 """
 
 from __future__ import annotations
 
 import datetime
+import hashlib
 import json
 import os
 import pathlib
 import re
 from dataclasses import dataclass
 
-from repro.analysis.artifact import SCHEMA_VERSION, ArtifactError, RunArtifact
+from repro import faults
+from repro.analysis.artifact import (SCHEMA_VERSION, ArtifactError,
+                                     RunArtifact, canonical_json,
+                                     run_fingerprint)
 
 #: Default store directory, relative to the working directory.
 DEFAULT_STORE_DIR = ".repro_cache"
@@ -33,8 +42,19 @@ DEFAULT_STORE_DIR = ".repro_cache"
 #: Environment variable overriding the store location.
 STORE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Subdirectory corrupt entries are moved into (never deleted: a corrupt
+#: file is evidence worth keeping for diagnosis).
+QUARANTINE_DIR = "quarantine"
+
 #: Hex digits of the fingerprint embedded in each filename.
 _NAME_HASH_LEN = 20
+
+
+def content_hash(payload: dict) -> str:
+    """Whole-payload checksum stored under ``content_hash`` on put and
+    re-verified on get (the payload is hashed without that key)."""
+    body = {k: v for k, v in payload.items() if k != "content_hash"}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
 
 
 def store_root() -> pathlib.Path:
@@ -78,6 +98,16 @@ class StoreEntry:
     size: int
     schema_version: int | None = None
     created: str = ""
+    flags: tuple = ()
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One corrupt file moved aside by the store, with its reason."""
+
+    path: pathlib.Path
+    size: int
+    reason: str
 
 
 class RunStore:
@@ -93,15 +123,48 @@ class RunStore:
     # -- read --------------------------------------------------------------
 
     def get(self, fingerprint: str) -> RunArtifact | None:
-        """Load the artifact with this fingerprint, or None on any miss
-        (absent, unparsable, stale schema, or hash mismatch)."""
+        """Load the artifact with this fingerprint, or None on any miss.
+
+        Misses are never errors: an absent or schema-stale file is a
+        plain miss, while an unparsable or checksum-failing file is
+        *quarantined* (moved to ``<root>/quarantine/`` with a ``.why``
+        sidecar) and then treated as a miss, so one corrupt entry can
+        never crash a sweep or be silently served as data.
+        """
         if not self.root.is_dir():
             return None
         suffix = f"-{fingerprint[:_NAME_HASH_LEN]}.json"
         for path in sorted(self.root.glob(f"*{suffix}")):
             try:
-                artifact = RunArtifact.loads(path.read_text())
-            except (ArtifactError, OSError):
+                data = path.read_bytes()
+            except OSError:
+                continue
+            hit = faults.fire("store.get.corrupt", path.name)
+            if hit is not None:
+                plan = faults.active()
+                data = faults.corrupt_bytes(data, plan.rng("store.get.corrupt"))
+                try:
+                    path.write_bytes(data)
+                except OSError:  # pragma: no cover - read-only store
+                    pass
+            try:
+                payload = json.loads(data)
+            except ValueError:
+                self._quarantine(path, "unparsable JSON")
+                continue
+            if not isinstance(payload, dict):
+                self._quarantine(path, "payload is not an object")
+                continue
+            if payload.get("schema_version") != SCHEMA_VERSION:
+                continue  # stale schema: a plain miss, collected by gc
+            stored_hash = payload.get("content_hash")
+            if stored_hash != content_hash(payload):
+                self._quarantine(path, "content checksum mismatch")
+                continue
+            try:
+                artifact = RunArtifact.from_json_dict(payload)
+            except ArtifactError as exc:
+                self._quarantine(path, f"invalid artifact payload: {exc}")
                 continue
             if artifact.fingerprint == fingerprint:
                 return artifact
@@ -116,10 +179,107 @@ class RunStore:
         """Persist one artifact atomically; returns its path."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path_for(artifact)
+        if faults.fire("store.put.disk_full", path.name) is not None:
+            raise OSError(28, f"injected ENOSPC writing {path.name}")
+        payload = artifact.to_json_dict()
+        payload["content_hash"] = content_hash(payload)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(artifact.dumps() + "\n")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        if faults.fire("store.put.torn", path.name) is not None:
+            raise faults.InjectedFault(
+                "store.put.torn",
+                f"injected crash between temp write and rename of {path.name}")
         os.replace(tmp, path)
         return path
+
+    # -- quarantine --------------------------------------------------------
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> pathlib.Path | None:
+        """Move a corrupt file into ``quarantine/`` (best effort: any
+        filesystem trouble degrades to leaving the file where it is,
+        which the caller already treats as a miss)."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            n = 2
+            while target.exists():
+                target = qdir / f"{path.stem}.{n}{path.suffix}"
+                n += 1
+            os.replace(path, target)
+            pathlib.Path(f"{target}.why").write_text(reason + "\n")
+            return target
+        except OSError:  # pragma: no cover - quarantine must never raise
+            return None
+
+    def quarantine_entries(self) -> list[QuarantineEntry]:
+        """Everything in ``quarantine/``, with recorded reasons."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return []
+        out = []
+        for path in sorted(qdir.glob("*.json")):
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            try:
+                reason = pathlib.Path(f"{path}.why").read_text().strip()
+            except OSError:
+                reason = "?"
+            out.append(QuarantineEntry(path=path, size=size, reason=reason))
+        return out
+
+    # -- integrity audit ---------------------------------------------------
+
+    def verify(self) -> list[dict]:
+        """Re-check every stored file: identity, schema, and checksum.
+
+        Returns one record per file -- ``{"label", "status", "detail",
+        "path"}`` with status ``ok`` / ``SKIP`` (stale schema) /
+        ``UNREADABLE`` / ``MISMATCH`` (identity drift) / ``CHECKSUM``
+        (bit rot) -- sorted by path.  ``repro cache ls --verify`` renders
+        these; the chaos harness asserts none are bad after a fault run.
+        """
+        records = []
+        if not self.root.is_dir():
+            return records
+        for path in sorted(self.root.glob("*.json")):
+            records.append(self._verify_one(path))
+        return records
+
+    def _verify_one(self, path: pathlib.Path) -> dict:
+        def record(label, status, detail=""):
+            return {"label": label, "status": status, "detail": detail,
+                    "path": path}
+
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            return record("?", "UNREADABLE",
+                          f"not parseable as an artifact ({exc})")
+        if not isinstance(payload, dict):
+            return record("?", "UNREADABLE", "payload is not an object")
+        label = _spec_label(payload.get("spec"))
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            return record(label, "SKIP", f"stale schema v{version}")
+        try:
+            artifact = RunArtifact.from_json_dict(payload)
+        except ArtifactError as exc:
+            return record(label, "UNREADABLE", str(exc))
+        expected = run_fingerprint(artifact.spec)
+        if artifact.fingerprint != expected:
+            return record(label, "MISMATCH",
+                          f"stored {artifact.fingerprint[:16]} != spec "
+                          f"{expected[:16]}")
+        name_hash = path.stem.rsplit("-", 1)[-1]
+        if name_hash != artifact.fingerprint[:_NAME_HASH_LEN]:
+            return record(label, "MISMATCH",
+                          "filename/payload fingerprint disagree")
+        if payload.get("content_hash") != content_hash(payload):
+            return record(label, "CHECKSUM", "content checksum mismatch")
+        return record(label, "ok", artifact.fingerprint[:16])
 
     # -- maintenance -------------------------------------------------------
 
@@ -146,11 +306,13 @@ class RunStore:
             version = payload.get("schema_version")
             created = datetime.datetime.fromtimestamp(
                 stat.st_mtime).isoformat(timespec="seconds")
+            flags = payload.get("flags")
             out.append(StoreEntry(
                 path=path, fingerprint=fingerprint,
                 label=_spec_label(payload.get("spec")), size=stat.st_size,
                 schema_version=version if isinstance(version, int) else None,
-                created=created))
+                created=created,
+                flags=tuple(flags) if isinstance(flags, list) else ()))
         return out
 
     def gc(self, dry_run: bool = False) -> list[StoreEntry]:
@@ -170,6 +332,30 @@ class RunStore:
                 except OSError:  # pragma: no cover - racing deletion
                     pass
         return stale
+
+    def collect_tmp(self, dry_run: bool = False) -> list[tuple[pathlib.Path, int]]:
+        """Reclaim ``*.tmp.<pid>`` files stranded by interrupted writes.
+
+        :meth:`put` stages each artifact in a temp file before the
+        atomic rename; a worker killed in that window leaves the temp
+        file behind forever.  Returns ``(path, size)`` pairs (removed,
+        or merely found with *dry_run*).
+        """
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in sorted(self.root.glob("*.tmp.*")):
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            found.append((path, size))
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing deletion
+                    pass
+        return found
 
     def clear(self) -> int:
         """Delete every stored artifact; returns how many were removed."""

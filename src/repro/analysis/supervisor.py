@@ -1,0 +1,593 @@
+"""Supervised run execution: timeouts, retries, quarantine (robustness
+layer of the run engine).
+
+:func:`run_many_supervised` / :func:`prefetch_all_supervised` execute the
+same specs as :func:`repro.analysis.runner.run_many`, but each run gets
+its own worker **process** with
+
+* a per-run **timeout** (a hung simulation is terminated, not waited on),
+* **bounded retries** with deterministic exponential backoff
+  (``base * 2^(attempt-2)``, capped -- no jitter, so a chaos transcript
+  is reproducible),
+* an **error taxonomy**: transient errors (worker death, timeouts,
+  injected faults, I/O trouble) are retried; permanent ones (spec bugs:
+  ``ValueError``/``TypeError``/...) fail immediately,
+* per-spec **quarantine**: a spec that exhausts its retries is marked
+  failed and the sweep continues (``keep_going``), returning partial
+  results instead of one exception killing everything.
+
+Results come back as :class:`RunResult` records -- ``ok``/``artifact``
+on success, ``error``/``error_kind``/``attempts`` on failure -- keyed
+exactly like ``run_many``.  Engine lifecycle events (start/retry/
+timeout/quarantine) flow onto a :class:`repro.obs.events.EventBus` under
+the ``engine`` kind, and counters register under ``core.engine.*`` when
+a probe registry is supplied.
+
+Workers hand their artifact to the parent through the on-disk
+:class:`~repro.analysis.store.RunStore` (never a pipe), so a worker that
+dies mid-run can never deliver a torn result: either the atomic store
+write completed and the parent loads a checksummed artifact, or the
+attempt is retried.  When process isolation is unavailable (restricted
+sandboxes) execution falls back to in-process attempts with the same
+retry/quarantine semantics; timeouts are then best-effort only (nothing
+can preempt a hung in-process run), which the fallback records.
+
+This module is host-side machinery (timeouts, backoff sleeps), so it is
+on the D102 wall-clock allowlist; nothing here feeds simulation results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.analysis import experiments
+from repro.analysis.artifact import RunArtifact, run_fingerprint
+from repro.analysis.runner import (CANONICAL_SPECS, _resolve_item,
+                                   _spec_label, default_workers, labels_for)
+from repro.analysis.store import RunStore
+from repro.core.simulator import NoProgressError
+
+#: Error taxonomy: transient errors are retried, permanent ones are not.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: Exception type names that retrying cannot fix (bugs in the spec or
+#: the code, not in the environment).
+PERMANENT_ERRORS = frozenset({
+    "ValueError", "TypeError", "KeyError", "AttributeError",
+    "AssertionError", "ArtifactError",
+})
+
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF_BASE = 0.25
+BACKOFF_CAP = 8.0
+
+
+def classify_error(type_name: str, transient_hint=None) -> str:
+    """Transient or permanent?  An explicit hint (e.g. an
+    :class:`~repro.faults.InjectedFault`'s ``transient`` flag) wins;
+    otherwise the type name decides."""
+    if transient_hint is not None:
+        return TRANSIENT if transient_hint else PERMANENT
+    return PERMANENT if type_name in PERMANENT_ERRORS else TRANSIENT
+
+
+def backoff_delay(attempt: int, base: float = DEFAULT_BACKOFF_BASE,
+                  cap: float = BACKOFF_CAP) -> float:
+    """Seconds to wait before *attempt* (>= 2).  Pure exponential, no
+    jitter: the delay sequence is part of the deterministic transcript."""
+    return min(cap, base * (2 ** max(0, attempt - 2)))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one supervised spec: success, failure, or skip.
+
+    ``attempts`` counts executions (0 when served from the store);
+    ``quarantined`` marks a spec that failed for good; ``skipped`` marks
+    specs never run because an earlier failure aborted the sweep
+    (``keep_going=False``).  ``transcript`` is a deterministic
+    per-attempt log (no wall-clock values) used by ``repro chaos``.
+    """
+
+    label: str
+    spec: dict
+    ok: bool
+    artifact: RunArtifact | None = None
+    error: str | None = None
+    error_kind: str | None = None
+    attempts: int = 0
+    quarantined: bool = False
+    from_store: bool = False
+    skipped: bool = False
+    transcript: list = field(default_factory=list)
+
+
+class _Task:
+    """Mutable in-flight state for one spec."""
+
+    def __init__(self, index: int, label: str, spec: dict) -> None:
+        self.index = index
+        self.label = label
+        self.spec = spec
+        self.fingerprint = run_fingerprint(spec)
+        self.attempts = 0
+        self.not_before = 0.0  # monotonic deadline gating the next launch
+        self.transcript: list = []
+
+
+class _StallingSink:
+    """Wraps a heartbeat sink and goes silent after N beats (the
+    ``heartbeat.stall`` fault: a live worker whose telemetry died)."""
+
+    def __init__(self, inner, after_beats: int) -> None:
+        self.inner = inner
+        self.after = after_beats
+        self.beats = 0
+
+    def __call__(self, sample: dict) -> None:
+        if self.beats >= self.after:
+            return
+        self.beats += 1
+        self.inner(sample)
+
+
+def _run_attempt(spec: dict, store_root: str, attempt: int,
+                 progress_path=None, max_cycles=None, watchdog_cycles=None,
+                 allow_exit: bool = False) -> RunArtifact:
+    """One attempt's body, shared by worker processes and the inline
+    fallback: fire worker-level fault sites, execute, store."""
+    faults.set_attempt(attempt)
+    faults.reset_fired()
+    label = _spec_label(spec)
+    hit = faults.fire("worker.crash", label)
+    if hit is not None:
+        raise faults.InjectedFault(
+            "worker.crash",
+            f"injected worker startup crash ({label}, attempt {attempt})")
+    if faults.fire("worker.exit", label) is not None:
+        if allow_exit:
+            os._exit(13)
+        raise faults.InjectedFault(
+            "worker.exit", f"injected worker hard-exit ({label})")
+    heartbeat = None
+    if progress_path is not None:
+        from repro.obs.live import Heartbeat, StateFileSink
+
+        sink = StateFileSink(progress_path)
+        stall = faults.fire("heartbeat.stall", label)
+        if stall is not None:
+            sink = _StallingSink(sink, after_beats=stall.arg or 1)
+        heartbeat = Heartbeat(sink, target_instructions=spec["instructions"],
+                              label=label)
+    artifact = experiments.execute_spec(spec, heartbeat=heartbeat,
+                                        max_cycles=max_cycles,
+                                        watchdog_cycles=watchdog_cycles)
+    RunStore(store_root).put(artifact)
+    return artifact
+
+
+def _error_record(exc: BaseException) -> dict:
+    record = {"type": type(exc).__name__, "message": str(exc),
+              "transient": getattr(exc, "transient", None)}
+    if isinstance(exc, NoProgressError):
+        record["cycle"] = exc.cycle
+        record["retired"] = exc.retired
+    return record
+
+
+def _supervised_worker(spec: dict, store_root: str, attempt: int,
+                       err_path: str, progress_path=None,
+                       max_cycles=None, watchdog_cycles=None) -> None:
+    """Process target: run one attempt, report failure via *err_path*.
+
+    Success is signalled by exit code 0 plus the artifact being present
+    in the store; any failure writes a small JSON error record and exits
+    nonzero (without the multiprocessing traceback noise).
+    """
+    try:
+        _run_attempt(spec, store_root, attempt, progress_path=progress_path,
+                     max_cycles=max_cycles, watchdog_cycles=watchdog_cycles,
+                     allow_exit=True)
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            with open(err_path, "w") as f:
+                json.dump(_error_record(exc), f)
+        except OSError:  # pragma: no cover - scratch dir vanished
+            pass
+        raise SystemExit(1)
+
+
+def _noop() -> None:  # pragma: no cover - runs in a probe child
+    pass
+
+
+_PROC_AVAILABLE: bool | None = None
+
+
+def processes_available() -> bool:
+    """Can this host run supervised worker processes?  Cached probe."""
+    global _PROC_AVAILABLE
+    if _PROC_AVAILABLE is None:
+        try:
+            p = multiprocessing.get_context().Process(target=_noop)
+            p.start()
+            p.join(10)
+            _PROC_AVAILABLE = p.exitcode == 0
+        except (OSError, PermissionError, NotImplementedError):
+            _PROC_AVAILABLE = False
+    return _PROC_AVAILABLE
+
+
+class Supervisor:
+    """Policy + state for one supervised sweep.
+
+    Parameters mirror the CLI flags: *retries* extra attempts per spec,
+    *timeout* seconds per attempt (None = unlimited), *keep_going*
+    (return partial results instead of aborting on the first
+    quarantine).  *isolation* is ``"auto"`` (processes when available),
+    ``"process"``, or ``"inline"``.  *events* (an
+    :class:`~repro.obs.events.EventBus`) receives engine lifecycle
+    events; *registry* (a :class:`~repro.obs.registry.ProbeRegistry`)
+    receives ``core.engine.*`` counters.  *max_cycles_per_run* /
+    *watchdog_cycles* arm the simulator guardrails in every attempt.
+    """
+
+    def __init__(self, *, retries: int = DEFAULT_RETRIES,
+                 timeout: float | None = None, keep_going: bool = True,
+                 max_workers: int | None = None,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 poll_interval: float = 0.05, isolation: str = "auto",
+                 events=None, registry=None,
+                 max_cycles_per_run: int | None = None,
+                 watchdog_cycles: int | None = None) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if isolation not in ("auto", "process", "inline"):
+            raise ValueError(f"unknown isolation {isolation!r}")
+        self.retries = retries
+        self.timeout = timeout
+        self.keep_going = keep_going
+        self.max_workers = max_workers
+        self.backoff_base = backoff_base
+        self.poll_interval = poll_interval
+        self.isolation = isolation
+        self.events = events
+        self.max_cycles_per_run = max_cycles_per_run
+        self.watchdog_cycles = watchdog_cycles
+        self.transcript: list = []  # sweep-level notes (deterministic)
+        self._step = 0
+        self._aborted = False
+        if registry is not None:
+            self.register_probes(registry)
+        else:
+            from repro.obs.registry import NULL_REGISTRY
+
+            self.register_probes(NULL_REGISTRY)
+
+    def register_probes(self, registry) -> None:
+        """Engine counters under ``core.engine.*`` (probe hierarchy)."""
+        self.c_from_store = registry.counter("core.engine.from_store")
+        self.c_ok = registry.counter("core.engine.ok")
+        self.c_failed = registry.counter("core.engine.failed")
+        self.c_attempts = registry.counter("core.engine.attempts")
+        self.c_retries = registry.counter("core.engine.retries")
+        self.c_timeouts = registry.counter("core.engine.timeouts")
+        self.c_quarantined = registry.counter("core.engine.quarantined")
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, name: str, label: str, detail: str = "") -> None:
+        if self.events is None:
+            return
+        from repro.obs.events import ENGINE
+
+        self._step += 1
+        self.events.emit(self._step, ENGINE, name, service=label,
+                         args={"detail": detail} if detail else None)
+
+    # -- public API --------------------------------------------------------
+
+    def run_specs(self, specs=None, force: bool = False,
+                  store: RunStore | None = None,
+                  progress: bool = False) -> dict[str, RunResult]:
+        """Resolve many runs with supervision; returns label -> RunResult
+        in input order (same keying as ``run_many``)."""
+        items = list(specs) if specs is not None else list(CANONICAL_SPECS)
+        store = store or RunStore()
+        resolved = [_resolve_item(item) for item in items]
+        labels = labels_for(items, resolved)
+        quarantined_before = {e.path.name for e in store.quarantine_entries()}
+
+        results: dict[str, RunResult] = {}
+        todo: list[_Task] = []
+        for index, (label, spec) in enumerate(zip(labels, resolved)):
+            artifact = None if force else experiments.cached_artifact(
+                run_fingerprint(spec), store)
+            if artifact is not None:
+                self.c_from_store.add()
+                self._emit("run.store_hit", label)
+                results[label] = RunResult(
+                    label, spec, ok=True, artifact=artifact, from_store=True,
+                    transcript=["served from store"])
+            else:
+                todo.append(_Task(index, label, spec))
+
+        if todo:
+            use_processes = (self.isolation == "process"
+                             or (self.isolation == "auto"
+                                 and processes_available()))
+            if use_processes:
+                self._execute_pool(todo, results, store, progress)
+            else:
+                self._execute_inline(todo, results, store)
+
+        # Surface entries the store quarantined during this sweep (a
+        # corrupt file found on read is recovered below the retry layer:
+        # the spec simply re-executes).
+        for entry in store.quarantine_entries():
+            if entry.path.name in quarantined_before:
+                continue
+            self._emit("store.quarantine", entry.path.name, entry.reason)
+            self.transcript.append(
+                f"store quarantined {entry.path.name}: {entry.reason}")
+        return {label: results[label] for label in labels}
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _sleep_for_backoff(self, task: _Task, error: str, kind: str) -> bool:
+        """Record a failed attempt; True when the task should retry."""
+        self.c_failed.add()
+        if kind == TRANSIENT and task.attempts <= self.retries:
+            delay = backoff_delay(task.attempts + 1, self.backoff_base)
+            task.transcript.append(
+                f"attempt {task.attempts}: [{kind}] {error}; "
+                f"retrying in {delay:g}s")
+            task.not_before = time.monotonic() + delay
+            self.c_retries.add()
+            self._emit("run.retry", task.label, error)
+            return True
+        task.transcript.append(
+            f"attempt {task.attempts}: [{kind}] {error}; quarantined")
+        return False
+
+    def _finish_ok(self, task: _Task, artifact: RunArtifact,
+                   results: dict) -> None:
+        experiments.register_artifact(artifact)
+        task.transcript.append(f"attempt {task.attempts}: ok")
+        self.c_ok.add()
+        self._emit("run.ok", task.label)
+        results[task.label] = RunResult(
+            task.label, task.spec, ok=True, artifact=artifact,
+            attempts=task.attempts, transcript=task.transcript)
+
+    def _finish_failed(self, task: _Task, error: str, kind: str,
+                       results: dict) -> None:
+        self.c_quarantined.add()
+        self._emit("run.quarantine", task.label, error)
+        results[task.label] = RunResult(
+            task.label, task.spec, ok=False, error=error, error_kind=kind,
+            attempts=task.attempts, quarantined=True,
+            transcript=task.transcript)
+        if not self.keep_going:
+            self._aborted = True
+
+    def _finish_skipped(self, task: _Task, results: dict) -> None:
+        task.transcript.append("skipped: sweep aborted by an earlier "
+                               "failure (keep_going off)")
+        results[task.label] = RunResult(
+            task.label, task.spec, ok=False, error="skipped", skipped=True,
+            attempts=task.attempts, transcript=task.transcript)
+
+    # -- process-pool execution --------------------------------------------
+
+    def _execute_pool(self, todo: list[_Task], results: dict,
+                      store: RunStore, progress: bool) -> None:
+        ctx = multiprocessing.get_context()
+        workers = self.max_workers or default_workers()
+        aggregator = None
+        with tempfile.TemporaryDirectory(prefix="repro-supervise-") as scratch:
+            if progress:
+                from repro.obs.live import ProgressAggregator
+
+                aggregator = ProgressAggregator(
+                    scratch, total_runs=len(todo),
+                    total_instructions=sum(t.spec["instructions"]
+                                           for t in todo))
+            pending: list[_Task] = list(todo)
+            active: dict[str, tuple] = {}  # label -> (proc, task, deadline, err)
+            while pending or active:
+                if self._aborted:
+                    for proc, task, _, _ in active.values():
+                        self._kill(proc)
+                        self._finish_skipped(task, results)
+                    for task in pending:
+                        self._finish_skipped(task, results)
+                    break
+                now = time.monotonic()
+                for task in [t for t in pending if t.not_before <= now]:
+                    if len(active) >= workers:
+                        break
+                    pending.remove(task)
+                    self._launch(task, ctx, store, scratch, active, aggregator)
+                if active:
+                    self._reap(active, pending, results, store)
+                elif pending:
+                    soonest = min(t.not_before for t in pending)
+                    time.sleep(min(max(0.0, soonest - now),
+                                   self.poll_interval * 4))
+                if aggregator is not None:
+                    aggregator.refresh(final=not (pending or active))
+
+    def _launch(self, task: _Task, ctx, store: RunStore, scratch: str,
+                active: dict, aggregator) -> None:
+        task.attempts += 1
+        self.c_attempts.add()
+        err_path = os.path.join(scratch,
+                                f"{task.index}-{task.attempts}.err.json")
+        progress_path = (aggregator.path_for(task.index)
+                         if aggregator is not None else None)
+        proc = ctx.Process(
+            target=_supervised_worker,
+            args=(task.spec, str(store.root), task.attempts, err_path,
+                  progress_path, self.max_cycles_per_run,
+                  self.watchdog_cycles),
+            daemon=True)
+        proc.start()
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout else None)
+        self._emit("run.start", task.label, f"attempt {task.attempts}")
+        active[task.label] = (proc, task, deadline, err_path)
+
+    def _reap(self, active: dict, pending: list, results: dict,
+              store: RunStore) -> None:
+        sentinels = {proc.sentinel: label
+                     for label, (proc, _, _, _) in active.items()}
+        try:
+            ready = multiprocessing.connection.wait(
+                list(sentinels), timeout=self.poll_interval)
+        except OSError:  # pragma: no cover - sentinel raced closed
+            ready = []
+        for sentinel in ready:
+            label = sentinels[sentinel]
+            proc, task, _, err_path = active.pop(label)
+            proc.join()
+            self._settle(task, proc.exitcode, err_path, pending, results,
+                         store)
+        now = time.monotonic()
+        for label, (proc, task, deadline, err_path) in list(active.items()):
+            if deadline is None or now < deadline or not proc.is_alive():
+                continue
+            self._kill(proc)
+            active.pop(label)
+            self.c_timeouts.add()
+            self._emit("run.timeout", task.label)
+            error = (f"timed out after {self.timeout:g}s; "
+                     "worker terminated")
+            if self._sleep_for_backoff(task, error, TRANSIENT):
+                pending.append(task)
+            else:
+                self._finish_failed(task, error, TRANSIENT, results)
+
+    def _settle(self, task: _Task, exitcode, err_path: str, pending: list,
+                results: dict, store: RunStore) -> None:
+        """Classify one finished worker and route the task onward."""
+        if exitcode == 0:
+            artifact = store.get(task.fingerprint)
+            if artifact is not None:
+                self._finish_ok(task, artifact, results)
+                return
+            error = "worker exited cleanly but stored no artifact"
+            kind = TRANSIENT
+        else:
+            record = self._read_error(err_path)
+            if record is not None:
+                error = f"{record.get('type')}: {record.get('message')}"
+                kind = classify_error(record.get("type", ""),
+                                      record.get("transient"))
+            else:
+                error = f"worker died with exit code {exitcode}"
+                kind = TRANSIENT
+        if self._sleep_for_backoff(task, error, kind):
+            pending.append(task)
+        else:
+            self._finish_failed(task, error, kind, results)
+
+    @staticmethod
+    def _read_error(err_path: str) -> dict | None:
+        try:
+            with open(err_path) as f:
+                record = json.load(f)
+        except (OSError, ValueError):
+            return None
+        os.unlink(err_path)
+        return record if isinstance(record, dict) else None
+
+    @staticmethod
+    def _kill(proc) -> None:
+        proc.terminate()
+        proc.join(1.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            proc.kill()
+            proc.join(5.0)
+
+    # -- inline fallback ---------------------------------------------------
+
+    def _execute_inline(self, todo: list[_Task], results: dict,
+                        store: RunStore) -> None:
+        """Serial in-process attempts: same retry/quarantine semantics,
+        but a timeout cannot preempt a hung run (recorded per task)."""
+        if self.timeout is not None:
+            self.transcript.append(
+                "inline fallback: per-run timeouts are best-effort only "
+                "(no process isolation available)")
+        for task in todo:
+            if self._aborted:
+                self._finish_skipped(task, results)
+                continue
+            self._run_inline_task(task, results, store)
+        faults.set_attempt(1)
+
+    def _run_inline_task(self, task: _Task, results: dict,
+                         store: RunStore) -> None:
+        while True:
+            task.attempts += 1
+            self.c_attempts.add()
+            self._emit("run.start", task.label, f"attempt {task.attempts}")
+            try:
+                artifact = _run_attempt(
+                    task.spec, str(store.root), task.attempts,
+                    max_cycles=self.max_cycles_per_run,
+                    watchdog_cycles=self.watchdog_cycles)
+            except Exception as exc:  # noqa: BLE001 - taxonomy below
+                record = _error_record(exc)
+                error = f"{record['type']}: {record['message']}"
+                kind = classify_error(record["type"], record["transient"])
+                if self._sleep_for_backoff(task, error, kind):
+                    time.sleep(max(0.0, task.not_before - time.monotonic()))
+                    continue
+                self._finish_failed(task, error, kind, results)
+                return
+            self._finish_ok(task, artifact, results)
+            return
+
+
+def run_many_supervised(specs=None, *, retries: int = DEFAULT_RETRIES,
+                        timeout: float | None = None, keep_going: bool = True,
+                        max_workers: int | None = None, force: bool = False,
+                        store: RunStore | None = None, progress: bool = False,
+                        backoff_base: float = DEFAULT_BACKOFF_BASE,
+                        isolation: str = "auto", events=None, registry=None,
+                        max_cycles_per_run: int | None = None,
+                        watchdog_cycles: int | None = None,
+                        ) -> dict[str, RunResult]:
+    """Supervised counterpart of :func:`repro.analysis.runner.run_many`:
+    same specs and result keying, but failures yield per-spec
+    :class:`RunResult` records instead of killing the sweep."""
+    supervisor = Supervisor(
+        retries=retries, timeout=timeout, keep_going=keep_going,
+        max_workers=max_workers, backoff_base=backoff_base,
+        isolation=isolation, events=events, registry=registry,
+        max_cycles_per_run=max_cycles_per_run,
+        watchdog_cycles=watchdog_cycles)
+    return supervisor.run_specs(specs, force=force, store=store,
+                                progress=progress)
+
+
+def prefetch_all_supervised(**kwargs) -> dict[str, RunResult]:
+    """Supervised warm-up of all eight canonical runs."""
+    return run_many_supervised(CANONICAL_SPECS, **kwargs)
+
+
+def prefetch_timed_supervised(**kwargs):
+    """Supervised prefetch plus wall seconds, for CLI reporting."""
+    start = time.perf_counter()
+    results = prefetch_all_supervised(**kwargs)
+    return results, time.perf_counter() - start

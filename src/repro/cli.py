@@ -7,10 +7,12 @@
     python -m repro table 4
     python -m repro figure 6
     python -m repro report --out EXPERIMENTS_GENERATED.md
+    python -m repro prefetch --retries 2 --timeout 600 --keep-going
     python -m repro cache ls
     python -m repro cache ls --verify
     python -m repro cache gc --dry-run
     python -m repro cache clear
+    python -m repro chaos --json chaos.json
     python -m repro lint --json findings.json
     python -m repro list
     python -m repro counters specint --grep mem.l2
@@ -33,7 +35,10 @@ re-runs a workload with the event bus attached and exports a Chrome
 ``docs/observability.md``); ``lint`` runs the AST-based invariant
 checks -- determinism, probe hygiene, schema/fingerprint drift -- and
 ``cache ls --verify`` re-fingerprints every stored artifact (see
-``docs/static-analysis.md``).  Runs resolve through the content-addressed
+``docs/static-analysis.md``); ``chaos`` runs the deterministic
+fault-injection matrix against the supervised run engine and ``prefetch
+--retries/--timeout/--keep-going`` supervise real sweeps (see
+``docs/robustness.md``).  Runs resolve through the content-addressed
 on-disk store (default ``.repro_cache/``, override with
 ``REPRO_CACHE_DIR``), so only the first invocation *anywhere* pays the
 simulation cost; ``REPRO_BUDGET_MULT`` scales the instruction budgets
@@ -54,7 +59,30 @@ from repro.analysis.paper import build_comparison, render_markdown
 
 
 def _cmd_run(args) -> int:
-    if args.progress or args.progress_out:
+    if args.retries is not None or args.timeout is not None:
+        if args.progress_out:
+            raise SystemExit(
+                "--progress-out cannot be combined with --retries/--timeout")
+        from repro.analysis.supervisor import (DEFAULT_RETRIES,
+                                               run_many_supervised)
+
+        item = {"workload": args.workload, "cpu": args.cpu,
+                "os_mode": args.os_mode, "seed": args.seed}
+        if args.instructions is not None:
+            item["instructions"] = args.instructions
+        retries = args.retries if args.retries is not None else DEFAULT_RETRIES
+        results = run_many_supervised(
+            [item], retries=retries, timeout=args.timeout,
+            force=args.progress, progress=args.progress)
+        (result,) = results.values()
+        if not result.ok:
+            for line in result.transcript:
+                print(f"  {line}")
+            print(f"run failed after {result.attempts} attempt(s): "
+                  f"{result.error}")
+            return 1
+        rec = result.artifact
+    elif args.progress or args.progress_out:
         from repro.analysis import experiments
         from repro.analysis.store import RunStore
         from repro.obs.live import Heartbeat, JsonlSink, TtyProgressSink
@@ -150,6 +178,9 @@ def _cmd_prefetch(args) -> int:
     from repro.analysis.runner import prefetch_timed
     from repro.analysis.store import RunStore
 
+    if (args.retries is not None or args.timeout is not None
+            or args.keep_going):
+        return _prefetch_supervised(args)
     artifacts, elapsed = prefetch_timed(max_workers=args.workers,
                                         force=args.force,
                                         progress=args.progress)
@@ -160,6 +191,35 @@ def _cmd_prefetch(args) -> int:
     print(f"{len(artifacts)} canonical runs ready in {elapsed:.1f}s "
           f"(store: {RunStore().root})")
     return 0
+
+
+def _prefetch_supervised(args) -> int:
+    """``repro prefetch`` with any of --retries/--timeout/--keep-going:
+    route through the supervised engine and report per-run outcomes
+    (partial results exit nonzero instead of raising)."""
+    from repro.analysis.store import RunStore
+    from repro.analysis.supervisor import (DEFAULT_RETRIES,
+                                           prefetch_timed_supervised)
+
+    retries = args.retries if args.retries is not None else DEFAULT_RETRIES
+    results, elapsed = prefetch_timed_supervised(
+        retries=retries, timeout=args.timeout, keep_going=args.keep_going,
+        max_workers=args.workers, force=args.force, progress=args.progress)
+    failed = 0
+    for label in sorted(results):
+        r = results[label]
+        if r.ok:
+            src = ("store" if r.from_store
+                   else f"{r.attempts} attempt(s)")
+            print(f"  {label:20s} {r.artifact.total['retired']:>12,} "
+                  f"instructions ({src})")
+        else:
+            failed += 1
+            what = "skipped" if r.skipped else f"FAILED [{r.error_kind}]"
+            print(f"  {label:20s} {what}: {r.error}")
+    print(f"{len(results) - failed}/{len(results)} canonical runs ready "
+          f"in {elapsed:.1f}s (store: {RunStore().root})")
+    return 1 if failed else 0
 
 
 def _cmd_cache(args) -> int:
@@ -174,8 +234,10 @@ def _cmd_cache(args) -> int:
         return _cache_verify(store)
     if args.cache_command == "gc":
         stale = store.gc(dry_run=args.dry_run)
-        if not stale:
-            print(f"no stale-schema entries in {store.root}")
+        tmp = store.collect_tmp(dry_run=args.dry_run)
+        if not stale and not tmp:
+            print(f"no stale-schema entries or stranded temp files "
+                  f"in {store.root}")
             return 0
         verb = "would remove" if args.dry_run else "removed"
         for entry in stale:
@@ -183,12 +245,24 @@ def _cmd_cache(args) -> int:
                        else f"v{entry.schema_version}")
             print(f"  {entry.label:24s} {version:<4s} {entry.size:>10,} B  "
                   f"{entry.path.name}")
-        print(f"{verb} {len(stale)} stale run(s), "
-              f"{sum(e.size for e in stale):,} bytes from {store.root}")
+        if stale:
+            print(f"{verb} {len(stale)} stale run(s), "
+                  f"{sum(e.size for e in stale):,} bytes from {store.root}")
+        for path, size in tmp:
+            print(f"  {'(interrupted write)':24s} {'':4s} {size:>10,} B  "
+                  f"{path.name}")
+        if tmp:
+            print(f"{verb} {len(tmp)} stranded temp file(s), "
+                  f"{sum(size for _, size in tmp):,} bytes "
+                  f"from {store.root}")
         return 0
     entries = store.entries()
+    quarantined = store.quarantine_entries()
     if not entries:
         print(f"store {store.root} is empty")
+        if quarantined:
+            print(f"[{len(quarantined)} quarantined corrupt file(s) in "
+                  f"{store.root / 'quarantine'}]")
         return 0
     from repro.analysis.artifact import SCHEMA_VERSION
 
@@ -201,71 +275,87 @@ def _cmd_cache(args) -> int:
         if entry.schema_version != SCHEMA_VERSION:
             stale += 1
             version += "*"
+        flags = f"  [{','.join(entry.flags)}]" if entry.flags else ""
         print(f"  {entry.label:24s} {version:<4s} {entry.created:19s} "
               f"{entry.size:>10,} B  {entry.fingerprint[:16]}  "
-              f"{entry.path.name}")
+              f"{entry.path.name}{flags}")
     summary = f"{len(entries)} stored run(s), {total:,} bytes in {store.root}"
     if stale:
         summary += (f"  [{stale} stale: schema != v{SCHEMA_VERSION}, "
                     "will re-run on next use]")
+    if quarantined:
+        summary += (f"  [{len(quarantined)} quarantined corrupt file(s) in "
+                    f"{store.root / 'quarantine'}]")
     print(summary)
     return 0
 
 
 def _cache_verify(store) -> int:
-    """``repro cache ls --verify``: re-fingerprint every stored entry.
+    """``repro cache ls --verify``: re-check every stored entry.
 
-    The runtime companion to the lint S-rules: loads each current-schema
-    artifact, recomputes ``run_fingerprint`` over its spec, and flags any
-    entry whose stored identity no longer matches its config (a knob
-    that skipped the hash, a hand-edited file, or fingerprint-logic
-    drift).  Exits nonzero when a mismatch is found.
+    The runtime companion to the lint S-rules, rendered from
+    :meth:`~repro.analysis.store.RunStore.verify`: each current-schema
+    artifact is re-loaded, its spec re-fingerprinted (MISMATCH = stored
+    identity no longer matches its config), and its whole-payload
+    checksum re-computed (CHECKSUM = bit rot).  Exits nonzero when any
+    entry is bad.
     """
-    from repro.analysis.artifact import (SCHEMA_VERSION, ArtifactError,
-                                         RunArtifact, run_fingerprint)
-
-    entries = store.entries()
-    # entries() silently skips files it cannot parse; --verify must not.
-    known = {entry.path for entry in entries}
-    orphans = [p for p in sorted(store.root.glob("*.json"))
-               if p not in known] if store.root.is_dir() else []
-    if not entries and not orphans:
+    records = store.verify()
+    if not records:
         print(f"store {store.root} is empty")
         return 0
     bad = 0
     checked = 0
-    for path in orphans:
-        bad += 1
-        print(f"  {'?':24s} UNREADABLE  not parseable as an artifact "
-              f"({path.name})")
-    for entry in entries:
-        if entry.schema_version != SCHEMA_VERSION:
-            print(f"  {entry.label:24s} SKIP      stale schema "
-                  f"v{entry.schema_version} ({entry.path.name})")
-            continue
-        try:
-            artifact = RunArtifact.loads(entry.path.read_text())
-        except (ArtifactError, OSError) as exc:
-            bad += 1
-            print(f"  {entry.label:24s} UNREADABLE  {exc} "
-                  f"({entry.path.name})")
-            continue
-        checked += 1
-        expected = run_fingerprint(artifact.spec)
-        if artifact.fingerprint != expected:
-            bad += 1
-            print(f"  {entry.label:24s} MISMATCH  stored "
-                  f"{artifact.fingerprint[:16]} != spec "
-                  f"{expected[:16]}  ({entry.path.name})")
-        elif entry.fingerprint != artifact.fingerprint:
-            bad += 1
-            print(f"  {entry.label:24s} MISMATCH  filename/payload "
-                  f"fingerprint disagree ({entry.path.name})")
+    for rec in records:
+        status, name = rec["status"], rec["path"].name
+        if status == "ok":
+            checked += 1
+            print(f"  {rec['label']:24s} ok        {rec['detail']}")
+        elif status == "SKIP":
+            print(f"  {rec['label']:24s} SKIP      {rec['detail']} ({name})")
         else:
-            print(f"  {entry.label:24s} ok        "
-                  f"{artifact.fingerprint[:16]}")
+            bad += 1
+            if status in ("MISMATCH", "CHECKSUM"):
+                checked += 1
+            print(f"  {rec['label']:24s} {status}  {rec['detail']}  "
+                  f"({name})")
     print(f"{checked} verified, {bad} problem(s) in {store.root}")
     return 1 if bad else 0
+
+
+def _cmd_chaos(args) -> int:
+    """``repro chaos``: run the deterministic fault matrix end to end."""
+    from repro.faults import chaos
+
+    if args.list:
+        for name in chaos.scenario_names():
+            print(name)
+        return 0
+    kwargs = {"seed": args.seed, "names": args.scenario or None}
+    for key in ("timeout", "retries", "workers", "instructions"):
+        value = getattr(args, key)
+        if value is not None:
+            kwargs["max_workers" if key == "workers" else key] = value
+    try:
+        if args.store:
+            report = chaos.run_matrix(args.store, **kwargs)
+        else:
+            import tempfile
+
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report = chaos.run_matrix(tmp, **kwargs)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        import json as _json
+
+        _guard_overwrite(args.json, args.force)
+        with open(args.json, "w") as f:
+            _json.dump(report.to_json_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if report.survived else 1
 
 
 def _cmd_counters(args) -> int:
@@ -549,6 +639,12 @@ def main(argv=None) -> int:
                        metavar="FILE",
                        help="write JSONL heartbeat samples to FILE instead "
                             "of a progress line (headless runs)")
+    p_run.add_argument("--retries", type=int, default=None,
+                       help="supervised execution: retry a failed run up "
+                            "to N times with backoff")
+    p_run.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="supervised execution: terminate the run after "
+                            "S seconds per attempt")
     p_run.set_defaults(func=_cmd_run)
 
     p_table = sub.add_parser("table", help="regenerate one paper table (2-9)")
@@ -577,6 +673,15 @@ def main(argv=None) -> int:
                        help="re-run even when the store already has a run")
     p_pre.add_argument("--progress", action="store_true",
                        help="show one aggregate live line while runs execute")
+    p_pre.add_argument("--retries", type=int, default=None,
+                       help="supervised prefetch: retry each failed run up "
+                            "to N times with backoff")
+    p_pre.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="supervised prefetch: terminate a run after "
+                            "S seconds per attempt")
+    p_pre.add_argument("--keep-going", action="store_true", dest="keep_going",
+                       help="supervised prefetch: quarantine failing runs "
+                            "and finish the rest (partial results)")
     p_pre.set_defaults(func=_cmd_prefetch)
 
     p_cache = sub.add_parser(
@@ -588,6 +693,35 @@ def main(argv=None) -> int:
                          help="ls: re-fingerprint every entry and flag "
                               "config/fingerprint mismatches")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection matrix end to end")
+    p_chaos.add_argument("--scenario", action="append", default=None,
+                         metavar="NAME",
+                         help="run only this scenario (repeatable; "
+                              "see --list)")
+    p_chaos.add_argument("--list", action="store_true",
+                         help="list scenario names and exit")
+    p_chaos.add_argument("--seed", type=int, default=11,
+                         help="fault-plan seed (same seed => same "
+                              "transcript)")
+    p_chaos.add_argument("--store", default=None, metavar="DIR",
+                         help="root for per-scenario sub-stores "
+                              "(default: a temp dir)")
+    p_chaos.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-attempt timeout inside scenarios")
+    p_chaos.add_argument("--retries", type=int, default=None,
+                         help="retry budget inside scenarios (default 2)")
+    p_chaos.add_argument("--workers", type=int, default=None,
+                         help="worker processes per scenario (default 2)")
+    p_chaos.add_argument("--instructions", type=int, default=None,
+                         help="instruction budget per chaos run")
+    p_chaos.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the machine-readable report here")
+    p_chaos.add_argument("--force", action="store_true",
+                         help="overwrite an existing --json file")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_cnt = sub.add_parser(
         "counters",

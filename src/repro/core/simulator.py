@@ -33,6 +33,23 @@ SIM_KNOB_DEFAULTS: dict[str, object] = {
 }
 
 
+class NoProgressError(RuntimeError):
+    """The no-progress watchdog fired: the machine burned cycles without
+    retiring a single instruction (livelock / deadlock), so the run was
+    aborted with diagnostics instead of looping forever.
+
+    Carries the cycle the watchdog fired at, the retired count, and a
+    probe-tree snapshot taken at that moment.
+    """
+
+    def __init__(self, message: str, cycle: int, retired: int,
+                 snapshot: dict | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.retired = retired
+        self.snapshot = snapshot
+
+
 def sim_params(
     workload_name: str,
     machine: MachineConfig,
@@ -143,6 +160,16 @@ class Simulation:
         self._now = 0
         self.events = None
         self.heartbeat = None
+        # Guardrail, not a config knob: attached after construction (see
+        # attach_watchdog), so it never enters the fingerprint -- it
+        # cannot change what a run computes, only whether a stuck run
+        # dies with diagnostics instead of spinning forever.
+        self.watchdog_cycles = None
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle (persists across chunked runs)."""
+        return self._now
 
     def attach_events(self, bus) -> None:
         """Wire one :class:`~repro.obs.events.EventBus` through every layer.
@@ -165,6 +192,21 @@ class Simulation:
         """
         self.heartbeat = heartbeat
 
+    def attach_watchdog(self, stall_cycles: int) -> None:
+        """Abort with :class:`NoProgressError` if *stall_cycles* elapse
+        without a single instruction retiring.
+
+        Detection is cycle-driven (the run proceeds in ``stall_cycles``
+        chunks and compares retired counts between chunks), so it is
+        deterministic and adds nothing to the per-cycle hot loop; a
+        stall is reported within ``2 * stall_cycles`` cycles of onset.
+        Until one is attached (the default) ``run()`` is unchanged.
+        """
+        if stall_cycles < 1:
+            raise ValueError(
+                f"watchdog stall_cycles must be >= 1, got {stall_cycles}")
+        self.watchdog_cycles = stall_cycles
+
     def run(
         self,
         max_instructions: int = 300_000,
@@ -177,8 +219,35 @@ class Simulation:
         each step is charged to ``os.tick`` / ``core.cycle`` scopes; the
         unprofiled loop is untouched.  With a heartbeat attached
         (:meth:`attach_heartbeat`), a mask test per cycle triggers one
-        progress sample every ``heartbeat.interval`` cycles.
+        progress sample every ``heartbeat.interval`` cycles.  With a
+        watchdog attached (:meth:`attach_watchdog`), the run is chunked
+        at watchdog granularity -- chunked runs retire exactly the same
+        instruction stream -- and raises :class:`NoProgressError` when a
+        full chunk retires nothing.
         """
+        if self.watchdog_cycles is None:
+            return self._run_once(max_instructions, max_cycles, profiler)
+        limit_cycles = max_cycles if max_cycles is not None else (1 << 62)
+        interval = self.watchdog_cycles
+        while True:
+            before = self.stats.retired
+            chunk_limit = min(limit_cycles, self._now + interval)
+            result = self._run_once(max_instructions, chunk_limit, profiler)
+            if self.stats.retired >= max_instructions or self._now >= limit_cycles:
+                return result
+            if self.stats.retired == before:
+                raise NoProgressError(
+                    f"no instruction retired for {interval:,} cycles "
+                    f"(cycle {self._now:,}, retired {self.stats.retired:,})",
+                    cycle=self._now, retired=self.stats.retired,
+                    snapshot=self.obs.snapshot())
+
+    def _run_once(
+        self,
+        max_instructions: int,
+        max_cycles: int | None,
+        profiler,
+    ) -> SimResult:
         os_tick = self.os.tick
         cycle = self.processor.cycle
         stats = self.stats
@@ -225,13 +294,16 @@ class Simulation:
         )
 
     def to_artifact(self, startup: dict, steady: dict, total: dict,
-                    spec_extra: dict | None = None):
+                    spec_extra: dict | None = None,
+                    flags: list | None = None):
         """Freeze this simulation into a plain-data run artifact.
 
         ``startup``/``steady``/``total`` are the counter windows produced
         by :func:`repro.analysis.snapshot.diff`; ``spec_extra`` adds
         identifying labels (workload/cpu/os_mode names, instruction
-        budget) on top of the full config fingerprint in ``self.params``.
+        budget) on top of the full config fingerprint in ``self.params``;
+        ``flags`` marks degraded provenance (e.g. ``["truncated"]`` when
+        a max-cycle budget cut the run short).
         """
         from repro.analysis.artifact import RunArtifact
 
@@ -250,4 +322,5 @@ class Simulation:
             startup=startup,
             steady=steady,
             total=total,
+            flags=list(flags or []),
         )

@@ -38,6 +38,7 @@ WALLCLOCK_ALLOWLIST = (
     "obs/baseline.py",
     "obs/live.py",
     "analysis/runner.py",
+    "analysis/supervisor.py",
 )
 
 #: time-module functions that read host clocks.

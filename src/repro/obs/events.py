@@ -30,6 +30,10 @@ TLB = "tlb"
 SYSCALL = "syscall"
 INTERRUPT = "interrupt"
 SCHED = "sched"
+#: Run-engine lifecycle events (supervisor retries, timeouts, faults,
+#: quarantines); ``ts`` is a monotonically increasing step counter, not
+#: a simulation cycle, since the engine runs outside any simulation.
+ENGINE = "engine"
 
 # -- phases (Chrome trace_event vocabulary subset) -------------------------
 

@@ -195,10 +195,11 @@ class ProgressAggregator:
 
     def __init__(self, directory, total_runs: int,
                  total_instructions: int | None = None,
-                 stream=None) -> None:
+                 stream=None, stale_after: float | None = 30.0) -> None:
         self.directory = str(directory)
         self.total_runs = total_runs
         self.total_instructions = total_instructions
+        self.stale_after = stale_after
         self._tty = TtyProgressSink(stream)
         self._t0 = time.perf_counter()
 
@@ -206,27 +207,50 @@ class ProgressAggregator:
         return os.path.join(self.directory, f"worker-{index}.json")
 
     def samples(self) -> list[dict]:
-        """Every worker's latest sample (unreadable/in-flight files skipped)."""
+        """Every worker's latest sample (unreadable/in-flight files skipped).
+
+        Each sample gains an ``age_s`` field: seconds since the worker
+        last rewrote its state file.  A crashed worker stops rewriting
+        but its last sample stays on disk, so file age -- not sample
+        content -- is what distinguishes a live worker from a dead one.
+        """
         out = []
+        now = time.time()
         for index in range(self.total_runs):
+            path = self.path_for(index)
             try:
-                with open(self.path_for(index)) as f:
+                with open(path) as f:
                     payload = json.load(f)
+                age = max(0.0, now - os.stat(path).st_mtime)
             except (OSError, ValueError):
                 continue
             if isinstance(payload, dict):
+                payload["age_s"] = round(age, 1)
                 out.append(payload)
         return out
 
+    def _is_stale(self, sample: dict) -> bool:
+        return (self.stale_after is not None
+                and sample.get("age_s", 0.0) > self.stale_after)
+
     def aggregate(self) -> dict:
-        """One combined sample: sums of retired/ips, overall percent."""
+        """One combined sample: sums of retired/ips, overall percent.
+
+        Workers whose state file has not been rewritten for
+        ``stale_after`` seconds are counted in ``stale`` instead of
+        ``active`` and excluded from the rate sum (their last-known
+        retired counts still contribute to progress -- that work is
+        done and persisted).
+        """
         samples = self.samples()
+        fresh = [s for s in samples if not self._is_stale(s)]
         retired = sum(s.get("retired", 0) for s in samples)
         agg = {
             "runs": self.total_runs,
-            "active": len(samples),
+            "active": len(fresh),
+            "stale": len(samples) - len(fresh),
             "retired": retired,
-            "ips": round(sum(s.get("ips", 0.0) for s in samples), 1),
+            "ips": round(sum(s.get("ips", 0.0) for s in fresh), 1),
             "elapsed_s": round(time.perf_counter() - self._t0, 3),
         }
         if self.total_instructions:
@@ -237,6 +261,8 @@ class ProgressAggregator:
     def render(self) -> str:
         agg = self.aggregate()
         parts = [f"{agg['active']}/{agg['runs']} runs"]
+        if agg.get("stale"):
+            parts.append(f"{agg['stale']} stalled")
         if "pct" in agg:
             parts.append(f"{agg['pct']:5.1f}%")
         retired = f"{agg['retired']:,}"

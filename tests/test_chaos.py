@@ -1,0 +1,79 @@
+"""Chaos matrix tests: scenario selection, determinism of the JSON report,
+and graceful degradation when process isolation is unavailable."""
+
+import pytest
+
+from repro import faults
+from repro.analysis import experiments
+from repro.faults import chaos
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-store"))
+    experiments.clear_cache()
+    faults.clear()
+    yield
+    experiments.clear_cache()
+    faults.clear()
+
+
+def _fast(store_root, names, **overrides):
+    kwargs = dict(names=names, instructions=800, retries=2,
+                  max_workers=2, backoff_base=0.01, isolation="inline",
+                  timeout=chaos.HANG_TIMEOUT)
+    kwargs.update(overrides)
+    return chaos.run_matrix(store_root, **kwargs)
+
+
+def test_scenario_names_match_registry():
+    assert chaos.scenario_names() == [name for name, _ in chaos.SCENARIOS]
+    assert "worker-crash" in chaos.scenario_names()
+
+
+def test_unknown_scenario_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown scenario"):
+        chaos.run_matrix(tmp_path, names=["worker-crash", "nope"])
+
+
+def test_worker_crash_scenario_survives(tmp_path):
+    report = _fast(tmp_path / "m", ["worker-crash"])
+    assert report.survived
+    (scenario,) = report.scenarios
+    assert scenario.name == "worker-crash"
+    assert scenario.survived and not scenario.skipped
+    assert all(check["ok"] for check in scenario.checks)
+    assert "chaos matrix (seed 11): 1/1 scenarios survived" \
+        in report.render()
+
+
+def test_torn_write_scenario_reclaims_tmp(tmp_path):
+    report = _fast(tmp_path / "m", ["torn-write"])
+    assert report.survived
+    check_names = [check["name"] for check in report.scenarios[0].checks]
+    assert "stranded temp file found" in check_names
+    assert "temp files reclaimed" in check_names
+
+
+def test_corrupt_entry_scenario_quarantines(tmp_path):
+    report = _fast(tmp_path / "m", ["corrupt-entry"])
+    assert report.survived, report.render()
+
+
+def test_hung_run_skipped_without_processes(tmp_path):
+    report = _fast(tmp_path / "m", ["hung-run"])
+    (scenario,) = report.scenarios
+    assert scenario.skipped
+    assert report.survived  # skipped scenarios don't fail the matrix
+
+
+def test_report_json_is_deterministic(tmp_path):
+    names = ["worker-crash", "mid-sim-exception", "disk-full"]
+    first = _fast(tmp_path / "a", names).to_json_dict()
+    second = _fast(tmp_path / "b", names).to_json_dict()
+    assert first == second
+
+
+def test_matrix_leaves_no_armed_plan(tmp_path):
+    _fast(tmp_path / "m", ["worker-crash"])
+    assert faults.active() is None

@@ -224,3 +224,98 @@ def test_cli_run_progress_out_writes_jsonl(tmp_path, monkeypatch, capsys):
     # lines that did appear must be well-formed samples.
     for line in beats_path.read_text().splitlines():
         assert "cycle" in json.loads(line)
+
+
+# -- supervised run engine surface ------------------------------------------
+
+
+def test_cli_run_supervised_success(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["run", "specint", "--retries", "1"]) == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_cli_run_supervised_rejects_progress_out(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    with pytest.raises(SystemExit, match="--progress-out"):
+        cli.main(["run", "specint", "--retries", "1",
+                  "--progress-out", str(tmp_path / "beats.jsonl")])
+
+
+def test_cli_run_supervised_failure_exit_code(tmp_path, monkeypatch, capsys):
+    from repro import faults
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    plan = faults.FaultPlan(
+        sites=(faults.FaultSite("worker.crash", times=0),))
+    monkeypatch.setenv(faults.FAULT_PLAN_ENV, plan.dumps())
+    monkeypatch.setattr(faults, "_PLAN", faults._UNSET)
+    try:
+        assert cli.main(["run", "specint", "--retries", "1"]) == 1
+    finally:
+        faults.clear()
+    out = capsys.readouterr().out
+    assert "run failed after 2 attempt(s)" in out
+    assert "retrying in" in out
+
+
+def test_cli_prefetch_supervised(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "0.005")
+    assert cli.main(["prefetch", "--retries", "1", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "8/8 canonical runs ready" in out
+    assert "attempt(s)" in out or "store" in out
+
+
+def test_cli_cache_gc_collects_stranded_tmp(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    stranded = tmp_path / "dead.json.tmp.4242"
+    stranded.write_text("half an artifact")
+
+    assert cli.main(["cache", "gc", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "would remove 1 stranded temp file(s)" in out
+    assert stranded.exists()
+
+    assert cli.main(["cache", "gc"]) == 0
+    assert "removed 1 stranded temp file(s)" in capsys.readouterr().out
+    assert not stranded.exists()
+
+
+def test_cli_cache_ls_reports_quarantine(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    qdir = tmp_path / "quarantine"
+    qdir.mkdir()
+    (qdir / "rotten.json").write_text("garbage")
+    (qdir / "rotten.json.why").write_text("unparsable JSON")
+
+    assert cli.main(["cache", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "1 quarantined corrupt file(s)" in out
+
+
+def test_cli_chaos_list(capsys):
+    assert cli.main(["chaos", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "worker-crash" in out and "torn-write" in out
+
+
+def test_cli_chaos_unknown_scenario(tmp_path):
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        cli.main(["chaos", "--scenario", "nope",
+                  "--store", str(tmp_path / "m")])
+
+
+def test_cli_chaos_single_scenario_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    assert cli.main(["chaos", "--scenario", "worker-crash",
+                     "--store", str(tmp_path / "m"),
+                     "--instructions", "800", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 scenarios survived" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["scenarios"][0]["name"] == "worker-crash"
+    assert payload["scenarios"][0]["survived"] is True

@@ -1,0 +1,149 @@
+"""Fault-injection plan tests: firing arithmetic, serialization, the
+module-level arming API, and deterministic byte corruption."""
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSite, InjectedFault, corrupt_bytes
+
+
+@pytest.fixture(autouse=True)
+def _disarmed(monkeypatch):
+    """Every test starts and ends with no plan armed anywhere."""
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    faults.clear()
+    faults.set_attempt(1)
+    yield
+    faults.clear()
+    faults.set_attempt(1)
+
+
+# -- FaultSite / FaultPlan mechanics ---------------------------------------
+
+
+def test_unknown_site_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultSite("store.get.typo")
+
+
+def test_fire_respects_times_budget():
+    plan = FaultPlan(sites=(FaultSite("worker.crash", times=2),))
+    hits = [plan.fire("worker.crash") is not None for _ in range(5)]
+    assert hits == [True, True, False, False, False]
+
+
+def test_fire_times_zero_is_unlimited():
+    plan = FaultPlan(sites=(FaultSite("worker.crash", times=0),))
+    assert all(plan.fire("worker.crash") is not None for _ in range(10))
+
+
+def test_fire_skip_lets_first_invocations_pass():
+    plan = FaultPlan(sites=(FaultSite("sim.exception", skip=2, times=1),))
+    hits = [plan.fire("sim.exception") is not None for _ in range(4)]
+    assert hits == [False, False, True, False]
+
+
+def test_fire_match_restricts_by_context():
+    plan = FaultPlan(sites=(FaultSite("worker.crash", match="-ss-",
+                                      times=0),))
+    assert plan.fire("worker.crash", "specint-smt-full") is None
+    assert plan.fire("worker.crash", "specint-ss-full") is not None
+
+
+def test_fire_attempt_gates_on_supervised_attempt():
+    plan = FaultPlan(sites=(FaultSite("worker.crash", attempt=1),))
+    assert plan.fire("worker.crash", attempt=2) is None
+    assert plan.fire("worker.crash", attempt=1) is not None
+
+
+def test_other_sites_do_not_fire():
+    plan = FaultPlan(sites=(FaultSite("worker.crash"),))
+    assert plan.fire("sim.hang") is None
+
+
+def test_reset_forgets_firing_history():
+    plan = FaultPlan(sites=(FaultSite("worker.crash", times=1),))
+    assert plan.fire("worker.crash") is not None
+    assert plan.fire("worker.crash") is None
+    plan.reset()
+    assert plan.fire("worker.crash") is not None
+
+
+def test_plan_json_roundtrip():
+    plan = FaultPlan(sites=(FaultSite("sim.exception", times=3, skip=1,
+                                      match="apache", attempt=2, arg=500),),
+                     seed=99)
+    clone = FaultPlan.loads(plan.dumps())
+    assert clone.sites == plan.sites
+    assert clone.seed == plan.seed
+
+
+# -- module-level arming ---------------------------------------------------
+
+
+def test_fire_without_plan_is_none():
+    assert faults.fire("worker.crash") is None
+
+
+def test_install_and_clear_cycle():
+    faults.install(FaultPlan(sites=(FaultSite("worker.crash"),)))
+    assert faults.fire("worker.crash") is not None
+    faults.clear()
+    assert faults.fire("worker.crash") is None
+
+
+def test_install_arms_environment_for_children(monkeypatch):
+    plan = FaultPlan(sites=(FaultSite("sim.hang"),), seed=5)
+    faults.install(plan)
+    import os
+
+    assert FaultPlan.loads(os.environ[faults.FAULT_PLAN_ENV]) == plan
+    faults.clear()
+    assert faults.FAULT_PLAN_ENV not in os.environ
+
+
+def test_active_parses_environment_lazily(monkeypatch):
+    plan = FaultPlan(sites=(FaultSite("store.put.torn"),), seed=3)
+    monkeypatch.setenv(faults.FAULT_PLAN_ENV, plan.dumps())
+    monkeypatch.setattr(faults, "_PLAN", faults._UNSET)
+    assert faults.active() == plan
+
+
+def test_active_treats_bad_environment_as_disarmed(monkeypatch):
+    monkeypatch.setenv(faults.FAULT_PLAN_ENV, "{not json")
+    monkeypatch.setattr(faults, "_PLAN", faults._UNSET)
+    assert faults.active() is None
+
+
+def test_set_attempt_feeds_fire():
+    faults.install(FaultPlan(sites=(FaultSite("worker.crash", attempt=2),)),
+                   env=False)
+    assert faults.fire("worker.crash") is None
+    faults.set_attempt(2)
+    assert faults.fire("worker.crash") is not None
+
+
+def test_injected_fault_carries_site_and_taxonomy():
+    exc = InjectedFault("sim.hang", "boom", snapshot={"x": 1})
+    assert exc.site == "sim.hang"
+    assert exc.transient is True
+    assert exc.snapshot == {"x": 1}
+
+
+# -- corrupt_bytes ---------------------------------------------------------
+
+
+def test_corrupt_bytes_differs_and_is_deterministic():
+    data = b'{"fingerprint": "abc", "total": {"retired": 123456}}' * 4
+    out1 = corrupt_bytes(data, random.Random("s:site"))
+    out2 = corrupt_bytes(data, random.Random("s:site"))
+    assert out1 != data
+    assert out1 == out2
+    assert len(out1) == len(data)
+
+
+def test_corrupt_bytes_handles_tiny_inputs():
+    assert corrupt_bytes(b"", random.Random(0)) != b""
+    assert corrupt_bytes(b"x", random.Random(0)) != b"x"

@@ -187,6 +187,39 @@ def test_progress_aggregator_folds_worker_states(tmp_path):
     assert buf.getvalue().endswith("\n")
 
 
+def test_aggregator_marks_dead_workers_stale(tmp_path):
+    import os
+
+    agg = ProgressAggregator(tmp_path, total_runs=2,
+                             total_instructions=2000, stale_after=30.0)
+    StateFileSink(agg.path_for(0))({"retired": 500, "ips": 100.0})
+    StateFileSink(agg.path_for(1))({"retired": 200, "ips": 50.0})
+    # Backdate worker 1's heartbeat file: the worker died mid-run.
+    dead = agg.path_for(1)
+    os.utime(dead, (os.stat(dead).st_atime, os.stat(dead).st_mtime - 120))
+
+    combined = agg.aggregate()
+    assert combined["active"] == 1 and combined["stale"] == 1
+    # Persisted work still counts toward progress; the dead worker's
+    # throughput does not.
+    assert combined["retired"] == 700
+    assert combined["ips"] == pytest.approx(100.0)
+    assert "1 stalled" in agg.render()
+
+
+def test_aggregator_staleness_can_be_disabled(tmp_path):
+    import os
+
+    agg = ProgressAggregator(tmp_path, total_runs=1,
+                             total_instructions=1000, stale_after=None)
+    StateFileSink(agg.path_for(0))({"retired": 100, "ips": 10.0})
+    path = agg.path_for(0)
+    os.utime(path, (os.stat(path).st_atime, os.stat(path).st_mtime - 3600))
+    combined = agg.aggregate()
+    assert combined["active"] == 1 and combined["stale"] == 0
+    assert "stalled" not in agg.render()
+
+
 def test_run_many_progress_serial_path(capsys):
     result = runner.run_many([("specint", "smt", "full")], max_workers=1,
                              progress=True)

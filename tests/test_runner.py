@@ -103,3 +103,36 @@ def test_run_sweep_points_preserves_order():
     assert [v for v, _ in points] == [30_000, 10_000]
     for _, metrics in points:
         assert set(metrics) == set(sweeps.DEFAULT_METRICS)
+
+
+class _BrokenPool:
+    """Stands in for ProcessPoolExecutor on hosts where workers die at
+    startup: entering the context manager raises BrokenExecutor."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def __enter__(self):
+        from concurrent.futures import BrokenExecutor
+
+        raise BrokenExecutor("all workers died")
+
+    def __exit__(self, *exc):  # pragma: no cover - never entered
+        return False
+
+
+def test_run_many_falls_back_to_serial_on_broken_pool(monkeypatch):
+    monkeypatch.setattr(runner, "ProcessPoolExecutor", _BrokenPool)
+    triples = [("specint", "smt", "full"), ("specint", "ss", "full")]
+    result = runner.run_many(triples, max_workers=4)
+    assert set(result) == {"specint-smt-full", "specint-ss-full"}
+    store = RunStore()
+    for artifact in result.values():
+        assert store.get(artifact.fingerprint) == artifact
+
+
+def test_prefetch_all_falls_back_to_serial_on_broken_pool(monkeypatch):
+    monkeypatch.setattr(runner, "ProcessPoolExecutor", _BrokenPool)
+    artifacts = runner.prefetch_all(max_workers=4)
+    assert len(artifacts) == 8
+    assert len(RunStore().entries()) == 8

@@ -1,0 +1,162 @@
+"""Crash-safety tests for the run store: checksum quarantine on read,
+integrity audit statuses, and reclamation of interrupted atomic writes."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.analysis import experiments
+from repro.analysis.store import RunStore, content_hash
+
+
+@pytest.fixture(scope="module")
+def small_artifact():
+    spec = experiments.run_spec("specint", "smt", "app",
+                                instructions=8_000, seed=53)
+    return experiments.execute_spec(spec)
+
+
+@pytest.fixture()
+def warm_store(tmp_path, small_artifact):
+    store = RunStore(tmp_path / "store")
+    store.put(small_artifact)
+    return store
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _the_file(store):
+    (path,) = sorted(store.root.glob("*.json"))
+    return path
+
+
+# -- checksum on get -------------------------------------------------------
+
+
+def test_put_embeds_content_hash(warm_store):
+    payload = json.loads(_the_file(warm_store).read_text())
+    assert payload["content_hash"] == content_hash(payload)
+
+
+def test_get_serves_intact_entry(warm_store, small_artifact):
+    assert warm_store.get(small_artifact.fingerprint) == small_artifact
+
+
+def test_tampered_value_is_quarantined_not_served(warm_store, small_artifact):
+    path = _the_file(warm_store)
+    payload = json.loads(path.read_text())
+    payload["total"]["retired"] += 1  # bit rot; content_hash now stale
+    path.write_text(json.dumps(payload, sort_keys=True))
+
+    assert warm_store.get(small_artifact.fingerprint) is None
+    assert not path.exists()
+    (entry,) = warm_store.quarantine_entries()
+    assert entry.reason == "content checksum mismatch"
+    assert entry.path.parent == warm_store.root / "quarantine"
+    assert (entry.path.parent / f"{entry.path.name}.why").exists()
+
+
+def test_unparsable_entry_is_quarantined(warm_store, small_artifact):
+    _the_file(warm_store).write_text("{definitely not json")
+    assert warm_store.get(small_artifact.fingerprint) is None
+    (entry,) = warm_store.quarantine_entries()
+    assert entry.reason == "unparsable JSON"
+
+
+def test_quarantine_never_crashes_a_sweep(warm_store, small_artifact):
+    """get() on a corrupt entry is a miss, and a re-put heals the store."""
+    _the_file(warm_store).write_text("junk")
+    assert warm_store.get(small_artifact.fingerprint) is None
+    warm_store.put(small_artifact)
+    assert warm_store.get(small_artifact.fingerprint) == small_artifact
+    assert len(warm_store.quarantine_entries()) == 1
+
+
+def test_stale_schema_is_a_miss_not_a_quarantine(warm_store, small_artifact,
+                                                 monkeypatch):
+    import repro.analysis.store as store_mod
+
+    monkeypatch.setattr(store_mod, "SCHEMA_VERSION", 10_000)
+    assert warm_store.get(small_artifact.fingerprint) is None
+    assert _the_file(warm_store).exists()
+    assert warm_store.quarantine_entries() == []
+
+
+def test_injected_corruption_on_get(warm_store, small_artifact):
+    """The store.get.corrupt fault site garbles the on-disk bytes and the
+    read path quarantines them instead of serving rot."""
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("store.get.corrupt", times=1),), seed=7),
+        env=False)
+    assert warm_store.get(small_artifact.fingerprint) is None
+    (entry,) = warm_store.quarantine_entries()
+    assert entry.reason in ("unparsable JSON", "content checksum mismatch")
+    # The site's times budget is spent: the healed store serves normally.
+    warm_store.put(small_artifact)
+    assert warm_store.get(small_artifact.fingerprint) == small_artifact
+
+
+# -- verify ----------------------------------------------------------------
+
+
+def test_verify_clean_store(warm_store):
+    (record,) = warm_store.verify()
+    assert record["status"] == "ok"
+    assert record["label"] == "specint-smt-app"
+
+
+def test_verify_flags_checksum_rot(warm_store):
+    path = _the_file(warm_store)
+    payload = json.loads(path.read_text())
+    payload["total"]["retired"] += 1
+    path.write_text(json.dumps(payload, sort_keys=True))
+    (record,) = warm_store.verify()
+    assert record["status"] == "CHECKSUM"
+
+
+def test_verify_flags_unreadable(warm_store):
+    _the_file(warm_store).write_text("nope")
+    (record,) = warm_store.verify()
+    assert record["status"] == "UNREADABLE"
+
+
+# -- interrupted-write reclamation -----------------------------------------
+
+
+def test_collect_tmp_dry_run_keeps_files(warm_store):
+    stranded = warm_store.root / "dead-run.json.tmp.12345"
+    stranded.write_text("half an artifact")
+    found = warm_store.collect_tmp(dry_run=True)
+    assert [(p.name, s) for p, s in found] == \
+        [("dead-run.json.tmp.12345", len("half an artifact"))]
+    assert stranded.exists()
+
+
+def test_collect_tmp_reclaims(warm_store, small_artifact):
+    (warm_store.root / "dead-run.json.tmp.12345").write_text("x" * 64)
+    (warm_store.root / "other.json.tmp.99").write_text("y")
+    found = warm_store.collect_tmp()
+    assert len(found) == 2
+    assert warm_store.collect_tmp(dry_run=True) == []
+    # Real entries are untouched.
+    assert warm_store.get(small_artifact.fingerprint) == small_artifact
+
+
+def test_torn_put_leaves_reclaimable_tmp(tmp_path, small_artifact):
+    store = RunStore(tmp_path / "torn")
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("store.put.torn", times=1),)), env=False)
+    with pytest.raises(faults.InjectedFault):
+        store.put(small_artifact)
+    assert store.get(small_artifact.fingerprint) is None  # nothing torn
+    (found,) = store.collect_tmp()
+    assert ".tmp." in found[0].name
+    # The retry (fault budget spent) completes and the store is whole.
+    store.put(small_artifact)
+    assert store.get(small_artifact.fingerprint) == small_artifact

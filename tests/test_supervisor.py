@@ -1,0 +1,257 @@
+"""Supervised run engine tests: retry/backoff arithmetic, error taxonomy,
+quarantine and partial results, timeouts, and the simulator watchdog."""
+
+import pytest
+
+from repro import faults
+from repro.analysis import experiments, supervisor as sup
+from repro.analysis.store import RunStore
+from repro.core.simulator import NoProgressError
+from repro.obs.events import ENGINE, EventBus
+from repro.obs.registry import ProbeRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-store"))
+    experiments.clear_cache()
+    faults.clear()
+    faults.set_attempt(1)
+    yield
+    experiments.clear_cache()
+    faults.clear()
+    faults.set_attempt(1)
+
+
+def _item(cpu="smt", seed=29, instructions=2_000):
+    return {"workload": "specint", "cpu": cpu, "os_mode": "app",
+            "seed": seed, "instructions": instructions}
+
+
+def _one(results):
+    (result,) = results.values()
+    return result
+
+
+# -- pure arithmetic -------------------------------------------------------
+
+
+def test_backoff_delay_is_exponential_and_capped():
+    assert sup.backoff_delay(2, base=0.2) == pytest.approx(0.2)
+    assert sup.backoff_delay(3, base=0.2) == pytest.approx(0.4)
+    assert sup.backoff_delay(4, base=0.2) == pytest.approx(0.8)
+    assert sup.backoff_delay(20, base=0.2) == sup.BACKOFF_CAP
+
+
+def test_classify_error_taxonomy():
+    assert sup.classify_error("ValueError") == sup.PERMANENT
+    assert sup.classify_error("ArtifactError") == sup.PERMANENT
+    assert sup.classify_error("OSError") == sup.TRANSIENT
+    assert sup.classify_error("InjectedFault") == sup.TRANSIENT
+    # An explicit hint wins over the type name.
+    assert sup.classify_error("ValueError", transient_hint=True) \
+        == sup.TRANSIENT
+    assert sup.classify_error("OSError", transient_hint=False) \
+        == sup.PERMANENT
+
+
+def test_supervisor_rejects_bad_config():
+    with pytest.raises(ValueError):
+        sup.Supervisor(retries=-1)
+    with pytest.raises(ValueError):
+        sup.Supervisor(isolation="magic")
+
+
+# -- happy paths (inline isolation: fast, deterministic) -------------------
+
+
+def test_clean_run_inline(tmp_path):
+    store = RunStore(tmp_path / "s")
+    results = sup.run_many_supervised([_item()], isolation="inline",
+                                      store=store)
+    r = _one(results)
+    assert r.ok and r.attempts == 1 and not r.from_store
+    assert r.label == "specint-smt-app-s29"  # same keying as run_many
+    assert store.get(r.artifact.fingerprint) == r.artifact
+    assert r.transcript == ["attempt 1: ok"]
+
+
+def test_second_sweep_served_from_store(tmp_path):
+    store = RunStore(tmp_path / "s")
+    sup.run_many_supervised([_item()], isolation="inline", store=store)
+    experiments.clear_cache()
+    r = _one(sup.run_many_supervised([_item()], isolation="inline",
+                                     store=store))
+    assert r.ok and r.from_store and r.attempts == 0
+
+
+def test_retry_then_success_inline(tmp_path):
+    registry = ProbeRegistry()
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("worker.crash", attempt=1),)), env=False)
+    results = sup.run_many_supervised(
+        [_item()], isolation="inline", backoff_base=0.01,
+        store=RunStore(tmp_path / "s"), registry=registry)
+    r = _one(results)
+    assert r.ok and r.attempts == 2
+    assert "retrying in 0.01s" in r.transcript[0]
+    snap = registry.snapshot()
+    assert snap["core.engine.retries"] == 1
+    assert snap["core.engine.attempts"] == 2
+    assert snap["core.engine.ok"] == 1
+    assert snap["core.engine.quarantined"] == 0
+
+
+def test_permanent_error_fails_without_retry(tmp_path, monkeypatch):
+    def boom(spec, **kwargs):
+        raise ValueError("broken spec")
+
+    monkeypatch.setattr(experiments, "execute_spec", boom)
+    r = _one(sup.run_many_supervised([_item()], isolation="inline",
+                                     store=RunStore(tmp_path / "s")))
+    assert not r.ok and r.quarantined
+    assert r.attempts == 1
+    assert r.error_kind == sup.PERMANENT
+    assert "ValueError" in r.error
+
+
+def test_transient_exhaustion_quarantines(tmp_path):
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("worker.crash", times=0),)), env=False)
+    r = _one(sup.run_many_supervised(
+        [_item()], isolation="inline", retries=2, backoff_base=0.01,
+        store=RunStore(tmp_path / "s")))
+    assert not r.ok and r.quarantined
+    assert r.attempts == 3  # 1 + retries
+    assert r.transcript[-1].endswith("quarantined")
+
+
+def test_keep_going_false_skips_rest_inline(tmp_path, monkeypatch):
+    original = experiments.execute_spec
+
+    def selective(spec, **kwargs):
+        if spec["cpu"] == "smt":
+            raise ValueError("poisoned")
+        return original(spec, **kwargs)
+
+    monkeypatch.setattr(experiments, "execute_spec", selective)
+    results = sup.run_many_supervised(
+        [_item("smt"), _item("ss")], isolation="inline", keep_going=False,
+        store=RunStore(tmp_path / "s"))
+    bad, skipped = results.values()
+    assert bad.quarantined and not bad.skipped
+    assert skipped.skipped and not skipped.ok
+
+
+def test_partial_results_with_keep_going(tmp_path):
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("worker.crash", times=0, match="-ss-"),)),
+        env=False)
+    results = sup.run_many_supervised(
+        [_item("smt"), _item("ss")], isolation="inline", retries=1,
+        backoff_base=0.01, store=RunStore(tmp_path / "s"))
+    ok = [r for r in results.values() if r.ok]
+    bad = [r for r in results.values() if not r.ok]
+    assert len(ok) == 1 and "smt" in ok[0].label
+    assert len(bad) == 1 and bad[0].quarantined and bad[0].attempts == 2
+
+
+def test_engine_events_emitted(tmp_path):
+    bus = EventBus()
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("worker.crash", attempt=1),)), env=False)
+    sup.run_many_supervised([_item()], isolation="inline", backoff_base=0.01,
+                            store=RunStore(tmp_path / "s"), events=bus)
+    names = [e.name for e in bus.by_kind(ENGINE)]
+    assert names == ["run.start", "run.retry", "run.start", "run.ok"]
+    steps = [e.ts for e in bus.by_kind(ENGINE)]
+    assert steps == sorted(steps)
+
+
+# -- process isolation (timeouts, worker death) ----------------------------
+
+needs_processes = pytest.mark.skipif(not sup.processes_available(),
+                                     reason="no worker processes here")
+
+
+@needs_processes
+def test_clean_run_in_processes(tmp_path):
+    store = RunStore(tmp_path / "s")
+    r = _one(sup.run_many_supervised([_item()], isolation="process",
+                                     store=store, max_workers=2))
+    assert r.ok and r.attempts == 1
+    assert store.get(r.artifact.fingerprint) == r.artifact
+
+
+@needs_processes
+def test_worker_hard_exit_is_retried(tmp_path):
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("worker.exit", attempt=1),)))
+    r = _one(sup.run_many_supervised(
+        [_item()], isolation="process", backoff_base=0.01,
+        store=RunStore(tmp_path / "s")))
+    assert r.ok and r.attempts == 2
+    assert "exit code 13" in r.transcript[0]
+
+
+@needs_processes
+def test_hung_worker_times_out_and_recovers(tmp_path):
+    registry = ProbeRegistry()
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("sim.hang", attempt=1),)))
+    r = _one(sup.run_many_supervised(
+        [_item()], isolation="process", timeout=2.0, backoff_base=0.01,
+        store=RunStore(tmp_path / "s"), registry=registry))
+    assert r.ok and r.attempts == 2
+    assert "timed out after 2s" in r.transcript[0]
+    assert registry.snapshot()["core.engine.timeouts"] == 1
+
+
+# -- simulator guardrails --------------------------------------------------
+
+
+def test_watchdog_raises_diagnostic_on_stall():
+    spec = experiments.run_spec("specint", "smt", "app",
+                                instructions=2_000, seed=31)
+    faults.install(faults.FaultPlan(
+        sites=(faults.FaultSite("sim.stall", arg=2_000),)), env=False)
+    with pytest.raises(NoProgressError) as info:
+        experiments.execute_spec(spec)
+    err = info.value
+    assert err.retired == 0
+    assert err.cycle >= 2_000
+    assert isinstance(err.snapshot, dict) and err.snapshot
+    assert "no instruction retired" in str(err)
+
+
+def test_watchdog_does_not_perturb_results():
+    spec = experiments.run_spec("specint", "smt", "app",
+                                instructions=4_000, seed=37)
+    plain = experiments.execute_spec(spec)
+    watched = experiments.execute_spec(spec, watchdog_cycles=500)
+    assert watched == plain  # chunked execution is result-identical
+
+
+def test_max_cycles_truncates_and_flags():
+    spec = experiments.run_spec("specint", "smt", "app",
+                                instructions=1_000_000, seed=41)
+    artifact = experiments.execute_spec(spec, max_cycles=3_000)
+    assert artifact.total["retired"] < 1_000_000
+    assert "truncated" in artifact.flags
+
+
+def test_untruncated_run_has_no_flags():
+    spec = experiments.run_spec("specint", "smt", "app",
+                                instructions=1_500, seed=43)
+    assert experiments.execute_spec(spec).flags == []
+
+
+# -- heartbeat stall wrapper ----------------------------------------------
+
+
+def test_stalling_sink_goes_silent():
+    seen = []
+    sink = sup._StallingSink(seen.append, after_beats=2)
+    for i in range(5):
+        sink({"beat": i})
+    assert seen == [{"beat": 0}, {"beat": 1}]
