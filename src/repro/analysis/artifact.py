@@ -33,7 +33,10 @@ from dataclasses import dataclass, field
 #: windows are self-describing for percentile computation.
 #: v4: artifacts carry a ``flags`` list marking degraded provenance
 #: (e.g. ``"truncated"`` when a max-cycle budget cut the run short).
-SCHEMA_VERSION = 4
+#: v5: artifacts carry the execution ``mode`` ("full" / "fast" /
+#: "sampled") and, for tiered runs, a ``sampling`` record (leg records,
+#: extrapolated probe estimates with error bars, checkpoint provenance).
+SCHEMA_VERSION = 5
 
 #: Coarse code-version tag folded into every fingerprint.  Bump when the
 #: *simulator's* behavior changes (new counters, different scheduling,
@@ -77,7 +80,11 @@ class RunArtifact:
     Figures 1/5; ``marks`` is a list of ``[thread, label, cycle]`` phase
     marks.  ``flags`` marks degraded provenance (``"truncated"`` when a
     max-cycle budget cut the run short of its instruction budget); a
-    normal run's flags are empty.
+    normal run's flags are empty.  ``mode`` is the execution tier the
+    run used (see :mod:`repro.core.engine`) and ``sampling`` records a
+    tiered run's leg plan, extrapolated probe estimates, and checkpoint
+    provenance; plain detailed runs carry ``mode="full"`` and no
+    sampling record.
     """
 
     spec: dict
@@ -89,6 +96,8 @@ class RunArtifact:
     steady: dict
     total: dict
     flags: list = field(default_factory=list)
+    mode: str = "full"
+    sampling: dict | None = None
     schema_version: int = SCHEMA_VERSION
     fingerprint: str = field(default="")
 
@@ -100,6 +109,8 @@ class RunArtifact:
         self.steady = _plain(self.steady)
         self.total = _plain(self.total)
         self.flags = _plain(self.flags)
+        if self.sampling is not None:
+            self.sampling = _plain(self.sampling)
         if not self.fingerprint:
             self.fingerprint = run_fingerprint(self.spec)
 
@@ -146,6 +157,8 @@ class RunArtifact:
             "steady": self.steady,
             "total": self.total,
             "flags": self.flags,
+            "mode": self.mode,
+            "sampling": self.sampling,
         }
 
     @classmethod
@@ -167,6 +180,8 @@ class RunArtifact:
                 steady=payload["steady"],
                 total=payload["total"],
                 flags=payload.get("flags") or [],
+                mode=payload.get("mode") or "full",
+                sampling=payload.get("sampling"),
                 schema_version=version,
                 fingerprint=payload["fingerprint"],
             )

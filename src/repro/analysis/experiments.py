@@ -121,15 +121,31 @@ def run_spec(
     os_mode: str = "full",
     instructions: int | None = None,
     seed: int = 11,
+    mode: str = "full",
+    warmup: int = 0,
+    sample: tuple[int, int] | None = None,
+    stride: int | None = None,
 ) -> dict:
     """The full specification -- labels plus config fingerprint params --
     of one canonical run.  ``run_fingerprint(run_spec(...))`` is its store
-    key; no simulation is constructed."""
+    key; no simulation is constructed.
+
+    *mode*, *warmup*, *sample* and *stride* select the execution tier
+    (:mod:`repro.core.engine`).  They enter the spec -- and therefore
+    the fingerprint -- only when non-default, so plain detailed specs
+    are unchanged: ``mode`` when not ``"full"``, ``warmup`` when
+    positive, ``sample=(N, M)`` for sampled runs, and the fast-forward
+    ``stride`` whenever any fast leg exists.
+    """
+    from repro.core.engine import FF_STRIDE_DEFAULT, MODES, build_plan
+
     machine = canonical_machine(cpu)
     if workload not in ("specint", "apache"):
         raise ValueError(f"unknown workload {workload!r}")
     if os_mode not in ("full", "app", "omit"):
         raise ValueError(f"unknown os_mode {os_mode!r}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r} (want one of {MODES})")
     instructions = resolve_instructions(workload, cpu, instructions)
     params = sim_params(
         workload,
@@ -138,7 +154,7 @@ def run_spec(
         seed=seed,
         omit_kernel_refs=(os_mode == "omit"),
     )
-    return {
+    spec = {
         "workload": workload,
         "cpu": cpu,
         "os_mode": os_mode,
@@ -146,6 +162,34 @@ def run_spec(
         "seed": seed,
         "params": params,
     }
+    if mode != "full":
+        spec["mode"] = mode
+    if warmup:
+        spec["warmup"] = int(warmup)
+    if mode == "sampled":
+        if sample is None:
+            raise ValueError("sampled mode requires sample=(N, M)")
+        spec["sample"] = [int(sample[0]), int(sample[1])]
+    if mode != "full" or warmup:
+        spec["stride"] = int(stride) if stride is not None else FF_STRIDE_DEFAULT
+    build_plan(mode, instructions, warmup=warmup, sample=sample)  # validate
+    return spec
+
+
+def spec_plan(spec: dict):
+    """The leg plan and stride a spec executes (see
+    :func:`repro.core.engine.build_plan`); derived purely from the spec,
+    so equal specs always execute equal plans."""
+    from repro.core.engine import FF_STRIDE_DEFAULT, build_plan
+
+    sample = spec.get("sample")
+    plan = build_plan(
+        spec.get("mode", "full"),
+        spec["instructions"],
+        warmup=spec.get("warmup", 0),
+        sample=tuple(sample) if sample is not None else None,
+    )
+    return plan, spec.get("stride", FF_STRIDE_DEFAULT)
 
 
 def build_simulation(workload: str, cpu: str, os_mode: str, seed: int = 11) -> Simulation:
@@ -190,7 +234,8 @@ def run_windowed(sim: Simulation, budget: int,
 
 
 def execute_spec(spec: dict, heartbeat=None, max_cycles: int | None = None,
-                 watchdog_cycles: int | None = None) -> RunArtifact:
+                 watchdog_cycles: int | None = None,
+                 checkpoint: bool = False) -> RunArtifact:
     """Execute one run spec and freeze it into an artifact (no caching).
 
     This is the unit of work the parallel runner ships to worker
@@ -204,6 +249,15 @@ def execute_spec(spec: dict, heartbeat=None, max_cycles: int | None = None,
     :class:`~repro.core.simulator.NoProgressError`.  Neither enters the
     fingerprint: a truncated artifact is flagged, never mistaken for a
     full run by content.
+
+    Specs carrying tier keys (``mode``/``warmup``/``sample``/``stride``,
+    see :func:`run_spec`) execute their leg plan through
+    :mod:`repro.core.engine` instead of the plain windowed run.  With
+    *checkpoint* (an execution option, never part of the fingerprint),
+    a run with a warm-up prefix saves the warmed state as a store-backed
+    checkpoint on first execution and verify-restores it on later ones;
+    restored runs are byte-identical to straight-through ones, with the
+    provenance recorded under the artifact's ``sampling`` metadata.
     """
     from repro import faults
 
@@ -237,9 +291,15 @@ def execute_spec(spec: dict, heartbeat=None, max_cycles: int | None = None,
             f"injected mid-simulation exception at cycle {sim.now:,} "
             f"({label})",
             snapshot=sim.obs.snapshot())
-    cycle_cap = {} if max_cycles is None else {"max_cycles": max_cycles}
-    startup, steady, total = run_windowed(sim, spec["instructions"],
-                                          **cycle_cap)
+    tiered = spec.get("mode", "full") != "full" or spec.get("warmup")
+    if tiered:
+        startup, steady, total, sampling = _execute_tiered(
+            sim, spec, max_cycles=max_cycles, use_checkpoint=checkpoint)
+    else:
+        cycle_cap = {} if max_cycles is None else {"max_cycles": max_cycles}
+        startup, steady, total = run_windowed(sim, spec["instructions"],
+                                              **cycle_cap)
+        sampling = None
     if heartbeat is not None:
         heartbeat.close()
     flags = []
@@ -248,14 +308,89 @@ def execute_spec(spec: dict, heartbeat=None, max_cycles: int | None = None,
     artifact = sim.to_artifact(
         startup, steady, total,
         spec_extra={k: spec[k] for k in
-                    ("workload", "cpu", "os_mode", "instructions", "seed")},
+                    ("workload", "cpu", "os_mode", "instructions", "seed",
+                     "mode", "warmup", "sample", "stride") if k in spec},
         flags=flags,
+        mode=spec.get("mode", "full"),
+        sampling=sampling,
     )
     if artifact.fingerprint != run_fingerprint(spec):  # pragma: no cover
         raise RuntimeError(
             "config fingerprint drift: Simulation.params disagrees with "
             "run_spec() for the same arguments")
     return artifact
+
+
+def _execute_tiered(sim: Simulation, spec: dict,
+                    max_cycles: int | None = None,
+                    use_checkpoint: bool = False):
+    """Run a tiered spec's leg plan and assemble its counter windows.
+
+    Window semantics for tiered runs: *startup* covers boot through the
+    warm-up prefix (empty when the spec has no warm-up), *total* covers
+    the whole run, and *steady* is the rest -- except for sampled runs,
+    where it is the merged union of the detailed measurement legs (the
+    only windows with real pipeline timing in them).
+
+    Returns ``(startup, steady, total, sampling_meta)``; the metadata
+    records the executed legs, the stride, the extrapolated whole-run
+    probe estimates for sampled mode, and checkpoint provenance.
+    """
+    from repro.core import checkpoint as ckpt
+    from repro.core.engine import extrapolate, run_plan
+    from repro.analysis.snapshot import merge_windows
+
+    plan, stride = spec_plan(spec)
+    mode = spec.get("mode", "full")
+    warmup = spec.get("warmup", 0)
+    records: list[dict] = []
+    samples: list[dict] = []
+    ckpt_meta = None
+    boot = capture(sim)
+    rest = plan
+    if warmup:
+        prefix, rest = [plan[0]], plan[1:]
+        if use_checkpoint:
+            store = RunStore()
+            fingerprint = ckpt.checkpoint_fingerprint(
+                sim.params, prefix, stride)
+            payload = store.get_checkpoint(fingerprint)
+            if payload is not None:
+                ckpt.restore(sim, payload, max_cycles=max_cycles)
+                records.append({"mode": "fast", "target": warmup,
+                                "retired": sim.stats.retired,
+                                "cycles": sim.now})
+                ckpt_meta = {"fingerprint": fingerprint, "restored": True,
+                             "boundary": payload["boundary"]}
+            else:
+                leg_records, _ = run_plan(sim, prefix, max_cycles=max_cycles,
+                                          stride=stride)
+                records.extend(leg_records)
+                saved = ckpt.take(sim, prefix, stride)
+                store.put_checkpoint(saved)
+                ckpt_meta = {"fingerprint": fingerprint, "restored": False,
+                             "boundary": saved["boundary"]}
+        else:
+            leg_records, _ = run_plan(sim, prefix, max_cycles=max_cycles,
+                                      stride=stride)
+            records.extend(leg_records)
+    mid = capture(sim)
+    leg_records, samples = run_plan(sim, rest, max_cycles=max_cycles,
+                                    stride=stride)
+    records.extend(leg_records)
+    end = capture(sim)
+    startup = diff(mid, boot)
+    total = diff(end, boot)
+    if mode == "sampled" and samples:
+        steady = merge_windows(samples)
+    else:
+        steady = diff(end, mid)
+    meta: dict = {"mode": mode, "stride": stride, "plan": records}
+    if mode == "sampled" and samples:
+        meta["extrapolated"] = extrapolate(samples, spec["instructions"])
+    if ckpt_meta is not None:
+        meta["checkpoint"] = ckpt_meta
+    return startup, steady, total, meta
 
 
 def cached_artifact(fingerprint: str, store: RunStore | None = None) -> RunArtifact | None:
@@ -282,13 +417,25 @@ def get_run(
     os_mode: str = "full",
     instructions: int | None = None,
     seed: int = 11,
+    mode: str = "full",
+    warmup: int = 0,
+    sample: tuple[int, int] | None = None,
+    stride: int | None = None,
+    checkpoint: bool = False,
 ) -> RunArtifact:
-    """Fetch a canonical run artifact: memo, then store, then execute."""
-    spec = run_spec(workload, cpu, os_mode, instructions, seed)
+    """Fetch a canonical run artifact: memo, then store, then execute.
+
+    *mode*/*warmup*/*sample*/*stride* select the execution tier (they
+    are part of the spec and therefore the store key); *checkpoint* is
+    an execution option only -- whether a cache-missing run may reuse a
+    stored warm-up checkpoint -- and never changes the key.
+    """
+    spec = run_spec(workload, cpu, os_mode, instructions, seed,
+                    mode=mode, warmup=warmup, sample=sample, stride=stride)
     fingerprint = run_fingerprint(spec)
     artifact = cached_artifact(fingerprint)
     if artifact is None:
-        artifact = execute_spec(spec)
+        artifact = execute_spec(spec, checkpoint=checkpoint)
         RunStore().put(artifact)
         _MEMO[fingerprint] = artifact
     return artifact

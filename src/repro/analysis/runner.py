@@ -46,13 +46,16 @@ def default_workers() -> int:
 
 
 def _worker_run(spec: dict, store_root: str,
-                progress_path: str | None = None) -> dict:
+                progress_path: str | None = None,
+                checkpoint: bool = False) -> dict:
     """Execute one run spec in a worker process; returns the artifact as a
     JSON dict (plain data crosses the process boundary, never handles).
 
     With *progress_path*, a heartbeat periodically overwrites that file
     with the worker's latest progress sample so the parent process can
     aggregate live telemetry across the pool (see repro.obs.live).
+    With *checkpoint*, tiered specs reuse/save warm-up checkpoints in
+    the shared store (see repro.core.checkpoint).
     """
     heartbeat = None
     if progress_path is not None:
@@ -61,9 +64,8 @@ def _worker_run(spec: dict, store_root: str,
         heartbeat = Heartbeat(StateFileSink(progress_path),
                               target_instructions=spec["instructions"],
                               label=_spec_label(spec))
-    artifact = (experiments.execute_spec(spec, heartbeat=heartbeat)
-                if heartbeat is not None
-                else experiments.execute_spec(spec))
+    artifact = experiments.execute_spec(spec, heartbeat=heartbeat,
+                                        checkpoint=checkpoint)
     RunStore(store_root).put(artifact)
     return artifact.to_json_dict()
 
@@ -73,7 +75,8 @@ def _spec_label(spec: dict) -> str:
 
 
 def _run_specs(specs: list[dict], max_workers: int, store: RunStore,
-               progress: bool = False) -> list[RunArtifact]:
+               progress: bool = False,
+               checkpoint: bool = False) -> list[RunArtifact]:
     """Execute specs, in parallel when possible, preserving order.
 
     With *progress*, parallel workers write per-run state files into a
@@ -82,7 +85,8 @@ def _run_specs(specs: list[dict], max_workers: int, store: RunStore,
     serial fallback beats through the same aggregator directly.
     """
     if not progress:
-        return _run_specs_quiet(specs, max_workers, store)
+        return _run_specs_quiet(specs, max_workers, store,
+                                checkpoint=checkpoint)
     import tempfile
 
     from repro.obs.live import ProgressAggregator
@@ -92,11 +96,13 @@ def _run_specs(specs: list[dict], max_workers: int, store: RunStore,
             tmp, total_runs=len(specs),
             total_instructions=sum(s["instructions"] for s in specs))
         return _run_specs_quiet(specs, max_workers, store,
-                                aggregator=aggregator)
+                                aggregator=aggregator,
+                                checkpoint=checkpoint)
 
 
 def _run_specs_quiet(specs: list[dict], max_workers: int, store: RunStore,
-                     aggregator=None) -> list[RunArtifact]:
+                     aggregator=None,
+                     checkpoint: bool = False) -> list[RunArtifact]:
     if max_workers > 1 and len(specs) > 1:
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -104,7 +110,7 @@ def _run_specs_quiet(specs: list[dict], max_workers: int, store: RunStore,
                     pool.submit(
                         _worker_run, spec, str(store.root),
                         aggregator.path_for(i) if aggregator is not None
-                        else None)
+                        else None, checkpoint)
                     for i, spec in enumerate(specs)
                 ]
                 if aggregator is not None:
@@ -126,9 +132,8 @@ def _run_specs_quiet(specs: list[dict], max_workers: int, store: RunStore,
                               on_write=aggregator.refresh),
                 target_instructions=spec["instructions"],
                 label=_spec_label(spec))
-        artifact = (experiments.execute_spec(spec, heartbeat=heartbeat)
-                    if heartbeat is not None
-                    else experiments.execute_spec(spec))
+        artifact = experiments.execute_spec(spec, heartbeat=heartbeat,
+                                            checkpoint=checkpoint)
         store.put(artifact)
         out.append(artifact)
     if aggregator is not None:
@@ -148,11 +153,17 @@ def _watch_progress(futures, progress, poll_s: float = 0.5) -> None:
 
 def _resolve_item(item) -> dict:
     """One run_many item -- a (workload, cpu, os_mode) triple or a dict
-    with optional ``instructions``/``seed`` -- as a full resolved spec."""
+    with optional ``instructions``/``seed`` and execution-tier overrides
+    (``mode``/``warmup``/``sample``/``stride``, see
+    :mod:`repro.core.engine`) -- as a full resolved spec."""
     if isinstance(item, dict):
         return experiments.run_spec(
             item["workload"], item["cpu"], item.get("os_mode", "full"),
-            item.get("instructions"), item.get("seed", 11))
+            item.get("instructions"), item.get("seed", 11),
+            mode=item.get("mode", "full"),
+            warmup=item.get("warmup", 0),
+            sample=item.get("sample"),
+            stride=item.get("stride"))
     wl, cpu, mode = item
     return experiments.run_spec(wl, cpu, mode)
 
@@ -180,6 +191,7 @@ def run_many(
     force: bool = False,
     store: RunStore | None = None,
     progress: bool = False,
+    checkpoint: bool = False,
 ) -> dict[str, RunArtifact]:
     """Resolve many canonical runs at once, executing misses concurrently.
 
@@ -190,6 +202,8 @@ def run_many(
     and colliding labels gain a ``#n`` suffix -- in input order.
     Already-stored runs are loaded, not re-run, unless ``force`` is set.
     With ``progress``, executing misses renders a live aggregate line.
+    With ``checkpoint``, tiered specs reuse/save warm-up checkpoints
+    (an execution option only -- it never changes results or keys).
     """
     items = list(specs) if specs is not None else list(CANONICAL_SPECS)
     store = store or RunStore()
@@ -207,7 +221,7 @@ def run_many(
     if todo:
         workers = max_workers if max_workers is not None else default_workers()
         executed = _run_specs([spec for _, spec in todo], workers, store,
-                              progress=progress)
+                              progress=progress, checkpoint=checkpoint)
         for (label, _), artifact in zip(todo, executed):
             experiments.register_artifact(artifact)
             results[label] = artifact

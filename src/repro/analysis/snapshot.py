@@ -91,6 +91,42 @@ def capture(sim: Simulation) -> dict:
     return snap
 
 
+def merge_windows(windows: list[dict]) -> dict:
+    """Sum a list of counter windows into one combined window.
+
+    The sampled tier's steady window is the union of its detailed
+    measurement legs: every counter adds, histogram ``bounds`` metadata
+    is carried from the first window that has it.  Keys missing from
+    some windows contribute zero.
+    """
+    if not windows:
+        return {}
+    out: dict = {}
+    for window in windows:
+        _merge_into(out, window)
+    return out
+
+
+def _merge_into(out: dict, window: dict) -> None:
+    for key, value in window.items():
+        if key == "bounds" and isinstance(value, list):
+            out.setdefault(key, list(value))
+        elif isinstance(value, dict):
+            _merge_into(out.setdefault(key, {}), value)
+        elif isinstance(value, list):
+            prev = out.get(key)
+            if isinstance(prev, list) and len(prev) == len(value):
+                out[key] = [p + v for p, v in zip(prev, value)]
+            else:
+                out[key] = list(value)
+        elif isinstance(value, (int, float)):
+            prev = out.get(key)
+            out[key] = (prev if isinstance(prev, (int, float)) else 0) + value
+        else:  # pragma: no cover - no other types are captured
+            out.setdefault(key, value)
+    return
+
+
 def diff(after: dict, before: dict) -> dict:
     """Recursively subtract *before* from *after* (window extraction).
 

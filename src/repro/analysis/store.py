@@ -83,13 +83,28 @@ def _spec_label(spec) -> str:
     return "-".join(parts) or "run"
 
 
+def _checkpoint_label(payload: dict) -> str:
+    """Listing label for a checkpoint payload, e.g.
+    ``ckpt:specint-full@100002``."""
+    params = payload.get("params")
+    if not isinstance(params, dict):
+        return "ckpt"
+    parts = [str(params.get(k)) for k in ("workload", "os_mode")
+             if params.get(k) is not None]
+    base = "-".join(parts) or "ckpt"
+    return f"ckpt:{base}@{payload.get('boundary', '?')}"
+
+
 @dataclass(frozen=True)
 class StoreEntry:
-    """One stored artifact, as listed by ``repro cache ls``.
+    """One stored artifact or checkpoint, as listed by ``repro cache ls``.
 
-    ``schema_version`` is whatever the payload recorded (stale entries
-    keep their old version so ``cache ls`` can show why they miss);
-    ``created`` is the file's mtime as an ISO-8601 timestamp.
+    ``kind`` is ``"run"`` for artifacts and ``"checkpoint"`` for
+    checkpoint recipes (:mod:`repro.core.checkpoint`); ``schema_version``
+    is whatever the payload recorded -- the artifact schema for runs,
+    the checkpoint schema for checkpoints -- so stale entries can show
+    why they miss.  ``created`` is the file's mtime as an ISO-8601
+    timestamp.
     """
 
     path: pathlib.Path
@@ -99,6 +114,7 @@ class StoreEntry:
     schema_version: int | None = None
     created: str = ""
     flags: tuple = ()
+    kind: str = "run"
 
 
 @dataclass(frozen=True)
@@ -155,6 +171,8 @@ class RunStore:
             if not isinstance(payload, dict):
                 self._quarantine(path, "payload is not an object")
                 continue
+            if payload.get("kind") == "checkpoint":
+                continue  # checkpoint namespace: never served as a run
             if payload.get("schema_version") != SCHEMA_VERSION:
                 continue  # stale schema: a plain miss, collected by gc
             stored_hash = payload.get("content_hash")
@@ -189,6 +207,67 @@ class RunStore:
             raise faults.InjectedFault(
                 "store.put.torn",
                 f"injected crash between temp write and rename of {path.name}")
+        os.replace(tmp, path)
+        return path
+
+    # -- checkpoints -------------------------------------------------------
+
+    def get_checkpoint(self, fingerprint: str) -> dict | None:
+        """Load the checkpoint payload with this fingerprint, or None.
+
+        Same miss/quarantine discipline as :meth:`get`: absent or
+        schema-stale checkpoints are plain misses, corrupt ones are
+        quarantined.  Returns the raw payload dict for
+        :func:`repro.core.checkpoint.restore`.
+        """
+        from repro.core.checkpoint import CHECKPOINT_SCHEMA
+
+        if not self.root.is_dir():
+            return None
+        suffix = f"-{fingerprint[:_NAME_HASH_LEN]}.json"
+        for path in sorted(self.root.glob(f"ckpt-*{suffix}")):
+            try:
+                payload = json.loads(path.read_bytes())
+            except (OSError, ValueError):
+                self._quarantine(path, "unparsable checkpoint JSON")
+                continue
+            if not isinstance(payload, dict) or payload.get("kind") != "checkpoint":
+                self._quarantine(path, "not a checkpoint payload")
+                continue
+            if payload.get("checkpoint_schema") != CHECKPOINT_SCHEMA:
+                continue  # stale checkpoint schema: a miss, gc collects it
+            if payload.get("content_hash") != content_hash(payload):
+                self._quarantine(path, "checkpoint checksum mismatch")
+                continue
+            if payload.get("fingerprint") == fingerprint:
+                payload.pop("content_hash", None)  # storage detail
+                return payload
+        return None
+
+    def put_checkpoint(self, payload: dict) -> pathlib.Path:
+        """Persist one checkpoint payload atomically; returns its path.
+
+        Files are named ``ckpt-<slug>@<boundary>-<fp>.json`` so the
+        namespace is disjoint from run artifacts and the boundary is
+        visible in listings.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        params = payload.get("params") or {}
+        slug = _slug({
+            "workload": params.get("workload"),
+            "os_mode": params.get("os_mode"),
+            "seed": params.get("seed"),
+        })
+        fingerprint = payload["fingerprint"]
+        name = (f"ckpt-{slug}@{payload.get('boundary', 0)}"
+                f"-{fingerprint[:_NAME_HASH_LEN]}.json")
+        path = self.root / name
+        if faults.fire("store.put.disk_full", path.name) is not None:
+            raise OSError(28, f"injected ENOSPC writing {path.name}")
+        body = dict(payload)
+        body["content_hash"] = content_hash(body)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(body, sort_keys=True) + "\n")
         os.replace(tmp, path)
         return path
 
@@ -260,6 +339,8 @@ class RunStore:
                           f"not parseable as an artifact ({exc})")
         if not isinstance(payload, dict):
             return record("?", "UNREADABLE", "payload is not an object")
+        if payload.get("kind") == "checkpoint":
+            return self._verify_checkpoint(path, payload)
         label = _spec_label(payload.get("spec"))
         version = payload.get("schema_version")
         if version != SCHEMA_VERSION:
@@ -280,6 +361,41 @@ class RunStore:
         if payload.get("content_hash") != content_hash(payload):
             return record(label, "CHECKSUM", "content checksum mismatch")
         return record(label, "ok", artifact.fingerprint[:16])
+
+    def _verify_checkpoint(self, path: pathlib.Path, payload: dict) -> dict:
+        """Checkpoint leg of :meth:`verify`: schema, checksum, and
+        fingerprint recomputation from the recorded plan."""
+        from repro.core.checkpoint import (CHECKPOINT_SCHEMA,
+                                           checkpoint_fingerprint)
+        from repro.core.engine import Leg
+
+        label = _checkpoint_label(payload)
+
+        def record(status, detail=""):
+            return {"label": label, "status": status, "detail": detail,
+                    "path": path}
+
+        version = payload.get("checkpoint_schema")
+        if version != CHECKPOINT_SCHEMA:
+            return record("SKIP", f"stale checkpoint schema v{version}")
+        fingerprint = payload.get("fingerprint")
+        try:
+            plan = [Leg(mode, instructions)
+                    for mode, instructions in payload["plan"]]
+            expected = checkpoint_fingerprint(
+                payload["params"], plan, payload["stride"])
+        except (KeyError, TypeError, ValueError) as exc:
+            return record("UNREADABLE", f"invalid checkpoint payload: {exc}")
+        if fingerprint != expected:
+            return record("MISMATCH",
+                          f"stored {str(fingerprint)[:16]} != plan "
+                          f"{expected[:16]}")
+        name_hash = path.stem.rsplit("-", 1)[-1]
+        if name_hash != fingerprint[:_NAME_HASH_LEN]:
+            return record("MISMATCH", "filename/payload fingerprint disagree")
+        if payload.get("content_hash") != content_hash(payload):
+            return record("CHECKSUM", "content checksum mismatch")
+        return record("ok", fingerprint[:16])
 
     # -- maintenance -------------------------------------------------------
 
@@ -303,16 +419,23 @@ class RunStore:
                 continue
             if not isinstance(payload, dict) or not isinstance(fingerprint, str):
                 continue
-            version = payload.get("schema_version")
+            kind = "checkpoint" if payload.get("kind") == "checkpoint" else "run"
+            if kind == "checkpoint":
+                version = payload.get("checkpoint_schema")
+                label = _checkpoint_label(payload)
+            else:
+                version = payload.get("schema_version")
+                label = _spec_label(payload.get("spec"))
             created = datetime.datetime.fromtimestamp(
                 stat.st_mtime).isoformat(timespec="seconds")
             flags = payload.get("flags")
             out.append(StoreEntry(
                 path=path, fingerprint=fingerprint,
-                label=_spec_label(payload.get("spec")), size=stat.st_size,
+                label=label, size=stat.st_size,
                 schema_version=version if isinstance(version, int) else None,
                 created=created,
-                flags=tuple(flags) if isinstance(flags, list) else ()))
+                flags=tuple(flags) if isinstance(flags, list) else (),
+                kind=kind))
         return out
 
     def gc(self, dry_run: bool = False) -> list[StoreEntry]:
@@ -321,10 +444,16 @@ class RunStore:
         A schema bump turns every stored artifact into a permanent miss;
         without collection those files leak disk forever.  Returns the
         stale entries (removed, or merely found with *dry_run*).  Current
-        -schema entries are never touched.
+        -schema entries are never touched.  Checkpoints are judged
+        against *their* schema (:data:`repro.core.checkpoint
+        .CHECKPOINT_SCHEMA`), so an artifact schema bump does not sweep
+        away still-valid checkpoints or vice versa.
         """
+        from repro.core.checkpoint import CHECKPOINT_SCHEMA
+
+        current = {"run": SCHEMA_VERSION, "checkpoint": CHECKPOINT_SCHEMA}
         stale = [entry for entry in self.entries()
-                 if entry.schema_version != SCHEMA_VERSION]
+                 if entry.schema_version != current[entry.kind]]
         if not dry_run:
             for entry in stale:
                 try:

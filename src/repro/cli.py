@@ -4,6 +4,9 @@
 
     python -m repro prefetch --workers 4          # warm the run store
     python -m repro run specint --cpu smt --instructions 200000 --progress
+    python -m repro run specint --mode fast --stride 8
+    python -m repro run specint --mode sampled --warmup 100000 \
+        --sample 180000:20000 --checkpoint
     python -m repro table 4
     python -m repro figure 6
     python -m repro report --out EXPERIMENTS_GENERATED.md
@@ -58,7 +61,29 @@ from repro.analysis.experiments import get_run
 from repro.analysis.paper import build_comparison, render_markdown
 
 
+def _parse_sample(text: str | None) -> tuple[int, int] | None:
+    """``--sample N:M`` -> (skip, measure) instruction counts."""
+    if text is None:
+        return None
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise SystemExit(f"bad --sample {text!r}: want N:M "
+                         "(e.g. 180000:20000)")
+    try:
+        skip, measure = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise SystemExit(f"bad --sample {text!r}: N and M must be integers")
+    return skip, measure
+
+
+def _tier_kwargs(args) -> dict:
+    """The execution-tier keyword arguments of a run command."""
+    return {"mode": args.mode, "warmup": args.warmup,
+            "sample": _parse_sample(args.sample), "stride": args.stride}
+
+
 def _cmd_run(args) -> int:
+    tier = _tier_kwargs(args)
     if args.retries is not None or args.timeout is not None:
         if args.progress_out:
             raise SystemExit(
@@ -70,6 +95,8 @@ def _cmd_run(args) -> int:
                 "os_mode": args.os_mode, "seed": args.seed}
         if args.instructions is not None:
             item["instructions"] = args.instructions
+        item.update({k: v for k, v in tier.items()
+                     if v not in (None, "full", 0)})
         retries = args.retries if args.retries is not None else DEFAULT_RETRIES
         results = run_many_supervised(
             [item], retries=retries, timeout=args.timeout,
@@ -88,21 +115,25 @@ def _cmd_run(args) -> int:
         from repro.obs.live import Heartbeat, JsonlSink, TtyProgressSink
 
         spec = experiments.run_spec(args.workload, args.cpu, args.os_mode,
-                                    args.instructions, args.seed)
+                                    args.instructions, args.seed, **tier)
         sink = (JsonlSink(args.progress_out) if args.progress_out
                 else TtyProgressSink())
         heartbeat = Heartbeat(
             sink, target_instructions=spec["instructions"],
             label=f"{args.workload}-{args.cpu}-{args.os_mode}")
-        rec = experiments.execute_spec(spec, heartbeat=heartbeat)
+        rec = experiments.execute_spec(spec, heartbeat=heartbeat,
+                                      checkpoint=args.checkpoint)
         RunStore().put(rec)
         experiments.register_artifact(rec)
     else:
         rec = get_run(args.workload, args.cpu, args.os_mode,
-                      instructions=args.instructions, seed=args.seed)
+                      instructions=args.instructions, seed=args.seed,
+                      checkpoint=args.checkpoint, **tier)
     w = rec.steady
     shares = metrics.class_shares(w)
     print(f"workload={args.workload} cpu={args.cpu} os_mode={args.os_mode}")
+    if rec.mode != "full":
+        print(f"execution mode      {rec.mode}")
     print(f"steady-state window: {w['retired']:,} instructions, "
           f"{w['cycles']:,} cycles")
     print(f"IPC                 {metrics.ipc(w):.2f}")
@@ -114,7 +145,38 @@ def _cmd_run(args) -> int:
     print(f"DTLB miss           {metrics.miss_rate(w, 'DTLB') * 100:.2f}%")
     print(f"branch mispredict   {metrics.cond_mispredict_rate(w) * 100:.2f}%")
     print(f"squashed            {metrics.squash_fraction(w) * 100:.1f}% of fetched")
+    _print_sampling(rec)
     return 0
+
+
+def _print_sampling(rec) -> None:
+    """Tiered-run provenance: leg plan, checkpoint reuse, and -- for
+    sampled runs -- the whole-run extrapolation with its error bars."""
+    sampling = rec.sampling
+    if not sampling:
+        return
+    legs = ", ".join(f"{leg['mode']}:{leg['retired']:,}"
+                     for leg in sampling.get("plan", []))
+    print(f"leg plan            {legs} (stride {sampling.get('stride')})")
+    ckpt = sampling.get("checkpoint")
+    if ckpt:
+        state = "restored from" if ckpt.get("restored") else "saved to"
+        print(f"warm-up checkpoint  {state} store "
+              f"({ckpt.get('fingerprint', '')[:12]}@{ckpt.get('boundary')})")
+    extra = sampling.get("extrapolated")
+    if not extra:
+        return
+    measured = extra.get("measured_instructions", 0)
+    total = rec.total.get("retired", 0) or 1
+    print(f"sampled windows     {extra.get('windows')} "
+          f"({measured:,} measured instructions, "
+          f"{measured / total * 100:.1f}% of run)")
+    probes = extra.get("probes", {})
+    for name in ("core.retired", "core.cycles", "mem.l1d.miss.user",
+                 "mem.l1d.miss.kernel", "mem.l2.miss.kernel"):
+        if name in probes:
+            estimate, band = probes[name]
+            print(f"  ~{name:<18s} {estimate:>14,.1f} +/- {band:,.1f}")
 
 
 def _table(number: int) -> dict:
@@ -265,23 +327,30 @@ def _cmd_cache(args) -> int:
                   f"{store.root / 'quarantine'}]")
         return 0
     from repro.analysis.artifact import SCHEMA_VERSION
+    from repro.core.checkpoint import CHECKPOINT_SCHEMA
 
+    current = {"run": SCHEMA_VERSION, "checkpoint": CHECKPOINT_SCHEMA}
     total = 0
     stale = 0
+    checkpoints = 0
     for entry in entries:
         total += entry.size
+        if entry.kind == "checkpoint":
+            checkpoints += 1
         version = ("?" if entry.schema_version is None
                    else f"v{entry.schema_version}")
-        if entry.schema_version != SCHEMA_VERSION:
+        if entry.schema_version != current.get(entry.kind, SCHEMA_VERSION):
             stale += 1
             version += "*"
         flags = f"  [{','.join(entry.flags)}]" if entry.flags else ""
-        print(f"  {entry.label:24s} {version:<4s} {entry.created:19s} "
-              f"{entry.size:>10,} B  {entry.fingerprint[:16]}  "
-              f"{entry.path.name}{flags}")
-    summary = f"{len(entries)} stored run(s), {total:,} bytes in {store.root}"
+        print(f"  {entry.label:24s} {entry.kind:10s} {version:<4s} "
+              f"{entry.created:19s} {entry.size:>10,} B  "
+              f"{entry.fingerprint[:16]}  {entry.path.name}{flags}")
+    summary = (f"{len(entries) - checkpoints} stored run(s), "
+               f"{checkpoints} checkpoint(s), {total:,} bytes "
+               f"in {store.root}")
     if stale:
-        summary += (f"  [{stale} stale: schema != v{SCHEMA_VERSION}, "
+        summary += (f"  [{stale} stale: schema behind current, "
                     "will re-run on next use]")
     if quarantined:
         summary += (f"  [{len(quarantined)} quarantined corrupt file(s) in "
@@ -632,6 +701,23 @@ def main(argv=None) -> int:
                        default="full", dest="os_mode")
     p_run.add_argument("--instructions", type=int, default=None)
     p_run.add_argument("--seed", type=int, default=11)
+    p_run.add_argument("--mode", choices=["full", "fast", "sampled"],
+                       default="full",
+                       help="execution tier: full detail, fast-functional, "
+                            "or interval sampling (docs/execution-modes.md)")
+    p_run.add_argument("--warmup", type=int, default=0, metavar="N",
+                       help="fast-forward the first N instructions before "
+                            "the main phase (cache/TLB/predictor warm-up)")
+    p_run.add_argument("--sample", default=None, metavar="N:M",
+                       help="sampled mode interval: fast-forward N, then "
+                            "measure M in detail, repeating")
+    p_run.add_argument("--stride", type=int, default=None, metavar="S",
+                       help="fast-mode frame subsampling stride "
+                            "(default 8; 1 = materialize everything)")
+    p_run.add_argument("--checkpoint", action="store_true",
+                       help="reuse/save a store-backed warm-up checkpoint "
+                            "for tiered runs (execution option only; "
+                            "results and store keys are unchanged)")
     p_run.add_argument("--progress", action="store_true",
                        help="execute fresh (even if stored) with a live "
                             "progress line")
@@ -780,8 +866,9 @@ def main(argv=None) -> int:
         "bench",
         help="measure simulator speed; write/check BENCH_<scenario>.json")
     p_bench.add_argument("scenarios", nargs="*",
-                         help="scenarios to run: specint, apache, report "
-                              "(default: specint apache)")
+                         help="scenarios to run: specint, apache, fast, "
+                              "sampled, report "
+                              "(default: specint apache fast sampled)")
     p_bench.add_argument("--check", action="store_true",
                          help="compare against the stored baseline and exit "
                               "nonzero on regression")

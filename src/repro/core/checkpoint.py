@@ -1,0 +1,136 @@
+"""Serializable mid-run checkpoints: verified deterministic replay recipes.
+
+A simulation's live state is full of generators and closures (workload
+behaviors, code-model walkers, kernel frames), so it cannot be pickled
+into a resumable blob.  What *can* be serialized -- exactly because the
+engine is deterministic -- is the recipe that reproduces a state:
+
+* the full config fingerprint (``sim.params``),
+* the executed leg plan and fast-forward stride
+  (:mod:`repro.core.engine`),
+* the instruction boundary and cycle the plan reached, and
+* SHA-256 digests of the resulting state (probe tree, kernel execution
+  state, cache/TLB contents).
+
+Restoring re-executes the plan on a freshly built simulation and
+*verifies* the digests, so silent nondeterminism (environment drift, a
+semantics change that forgot to bump the artifact code version) is
+caught as a hard :class:`CheckpointError` instead of contaminating
+downstream measurements.  Checkpoints are content-addressed in the run
+store (:mod:`repro.analysis.store`) by config + plan + stride, i.e. by
+what they reproduce, never by when they were taken.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.engine import FF_STRIDE_DEFAULT, Leg, run_plan
+
+#: Bump when the checkpoint payload layout or digest inputs change;
+#: restore refuses mismatched schemas (the store treats them as stale).
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be restored: schema/config mismatch, or the
+    replayed state's digests drifted from the recorded ones."""
+
+
+def state_digests(sim) -> dict:
+    """SHA-256 digests of *sim*'s current architectural state.
+
+    Three independent digests so a verification failure localizes the
+    drift: ``probes`` (the full counter tree), ``kernel`` (scheduler,
+    threads, wait queues, RNG states), ``memory`` (cache and TLB
+    contents in LRU order).
+    """
+    from repro.analysis.artifact import canonical_json
+    from repro.analysis.snapshot import capture
+
+    def sha(payload) -> str:
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    return {
+        "probes": sha(capture(sim)["probes"]),
+        "kernel": sha(sim.os.state_summary()),
+        "memory": sha(sim.hierarchy.content_state()),
+    }
+
+
+def checkpoint_fingerprint(params: dict, plan: list[Leg],
+                           stride: int = FF_STRIDE_DEFAULT) -> str:
+    """Content address of the checkpoint reaching the end of *plan*.
+
+    Covers the config fingerprint, the leg plan (mode + instruction
+    boundary of every leg), the stride, and the checkpoint schema /
+    artifact code versions -- everything that determines the replayed
+    state, and nothing (wall time, host) that does not.
+    """
+    from repro.analysis.artifact import CODE_VERSION, canonical_json
+
+    payload = {
+        "kind": "checkpoint",
+        "schema": CHECKPOINT_SCHEMA,
+        "code": CODE_VERSION,
+        "params": params,
+        "plan": [[leg.mode, leg.instructions] for leg in plan],
+        "stride": stride,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def take(sim, plan: list[Leg], stride: int = FF_STRIDE_DEFAULT) -> dict:
+    """Freeze *sim* -- positioned at the end of *plan* -- into a
+    JSON-safe checkpoint payload.
+
+    The caller is responsible for *plan* actually having been executed
+    on *sim* (normally via :func:`repro.core.engine.run_plan`); the
+    recorded boundary/cycle are read from the simulation itself, so an
+    overshooting leg is captured faithfully.
+    """
+    sim.tier.checkpoints_saved += 1
+    return {
+        "kind": "checkpoint",
+        "checkpoint_schema": CHECKPOINT_SCHEMA,
+        "fingerprint": checkpoint_fingerprint(sim.params, plan, stride),
+        "params": sim.params,
+        "plan": [[leg.mode, leg.instructions] for leg in plan],
+        "stride": stride,
+        "boundary": sim.stats.retired,
+        "cycle": sim.now,
+        "digests": state_digests(sim),
+    }
+
+
+def restore(sim, ckpt: dict, max_cycles: int | None = None):
+    """Replay *ckpt*'s plan on a freshly built *sim* and verify it.
+
+    Raises :class:`CheckpointError` if the checkpoint's schema or config
+    does not match, if the replay lands on a different boundary/cycle,
+    or if any state digest drifted.  On success the simulation sits at
+    the checkpoint boundary with byte-identical state, ready for the
+    remaining legs of its run.
+    """
+    from repro.analysis.artifact import canonical_json
+
+    if ckpt.get("checkpoint_schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {ckpt.get('checkpoint_schema')!r} != "
+            f"{CHECKPOINT_SCHEMA} (stale checkpoint)")
+    if canonical_json(ckpt["params"]) != canonical_json(sim.params):
+        raise CheckpointError("checkpoint config does not match simulation")
+    plan = [Leg(mode, instructions) for mode, instructions in ckpt["plan"]]
+    run_plan(sim, plan, max_cycles=max_cycles, stride=ckpt["stride"])
+    if sim.stats.retired != ckpt["boundary"] or sim.now != ckpt["cycle"]:
+        raise CheckpointError(
+            f"replay landed at retired={sim.stats.retired:,} "
+            f"cycle={sim.now:,}, checkpoint recorded "
+            f"retired={ckpt['boundary']:,} cycle={ckpt['cycle']:,}")
+    got = state_digests(sim)
+    drifted = sorted(k for k in got if got[k] != ckpt["digests"].get(k))
+    if drifted:
+        raise CheckpointError(
+            f"state digest drift after replay: {', '.join(drifted)}")
+    sim.tier.checkpoints_restored += 1
+    return sim

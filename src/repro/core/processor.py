@@ -185,6 +185,49 @@ class Processor:
         if replay:
             ctx.stream.push_replay(replay)
 
+    # -- tier transitions ---------------------------------------------------------
+
+    def flush_to_streams(self) -> int:
+        """Drain every in-flight instruction back to its context stream.
+
+        Used at a detailed-to-fast tier transition (see
+        :mod:`repro.core.engine`): un-retired instructions in the ROBs,
+        issue queues and fetch buffers are marked squashed and pushed back
+        for replay -- the next leg re-delivers and retires them, so the
+        retired instruction stream stays gap-free across the transition.
+        Unlike a misprediction squash this is bookkeeping, not a modeled
+        hardware event, so ``stats.squashed`` is not charged (the engine
+        counts it under ``core.mode.flushed_instructions`` instead).
+        Returns the number of instructions handed back.
+        """
+        flushed = 0
+        for ctx in self.contexts:
+            replay = []
+            for v in ctx.rob:
+                v.state = ST_SQUASHED
+                v.completion = -1
+                replay.append(v)
+            ctx.rob.clear()
+            if ctx.fetch_buffer is not None:
+                v = ctx.fetch_buffer
+                v.state = ST_SQUASHED
+                v.completion = -1
+                replay.append(v)
+                ctx.fetch_buffer = None
+            ctx.queued = 0
+            ctx.last_line = -1
+            ctx.blocked_until = 0
+            if replay:
+                ctx.stream.push_replay(replay)
+                flushed += len(replay)
+        self.int_queue.clear()
+        self.fp_queue.clear()
+        self.int_count = 0
+        self.fp_count = 0
+        self.inflight = 0
+        self._resolves.clear()
+        return flushed
+
     # -- retirement ---------------------------------------------------------------
 
     def _retire(self, now: int) -> None:

@@ -13,6 +13,7 @@ import random
 from dataclasses import asdict, dataclass
 
 from repro.core.config import MachineConfig
+from repro.core.engine import FF_STRIDE_DEFAULT, TierStats, fast_forward
 from repro.core.processor import Processor
 from repro.core.stats import SimStats
 from repro.memory.hierarchy import MemoryHierarchy
@@ -156,6 +157,15 @@ class Simulation:
             rng, registry=self.obs)
         # Context switches invalidate the per-context return stacks.
         self.os.switch_listeners.append(self.processor.branch_unit.clear_context)
+        # Tiered-engine accounting (core.mode.* probes; all zero unless
+        # fast-forward / sampling / checkpointing is used).
+        self.tier = TierStats()
+        self.tier.register_probes(self.obs)
+        # Fast-forward I-line tracking and width-debt carry, one entry
+        # per hardware context (the fast engine's analogues of the
+        # pipeline's ctx.last_line and of slot occupancy).
+        self._ff_last_line = [-1] * self.machine.cpu.n_contexts
+        self._ff_debt = [0] * self.machine.cpu.n_contexts
         workload.setup(self.os, self.hierarchy, random.Random(seed + 7919))
         self._now = 0
         self.events = None
@@ -282,20 +292,38 @@ class Simulation:
                 cycle(now)
                 now += 1
         self._now = now
+        return self._result()
+
+    def run_fast(self, max_instructions: int = 300_000,
+                 max_cycles: int | None = None,
+                 stride: int = FF_STRIDE_DEFAULT) -> SimResult:
+        """Run in fast-functional mode until *max_instructions* retire.
+
+        Full semantics (scheduler, kernel frames, TLB interception) with
+        cache/TLB/branch-predictor warming but no pipeline timing; user
+        code is subsampled at *stride* (kernel/PAL stay exact); see
+        :func:`repro.core.engine.fast_forward`.  Honors an attached
+        heartbeat and watchdog like :meth:`run`.
+        """
+        return fast_forward(self, max_instructions, max_cycles, stride)
+
+    def _result(self) -> SimResult:
         return SimResult(
             machine=self.machine,
-            stats=stats,
+            stats=self.stats,
             hierarchy=self.hierarchy,
             os=self.os,
             processor=self.processor,
             workload=self.workload,
             os_mode=self.os_mode,
-            cycles=now,
+            cycles=self._now,
         )
 
     def to_artifact(self, startup: dict, steady: dict, total: dict,
                     spec_extra: dict | None = None,
-                    flags: list | None = None):
+                    flags: list | None = None,
+                    mode: str = "full",
+                    sampling: dict | None = None):
         """Freeze this simulation into a plain-data run artifact.
 
         ``startup``/``steady``/``total`` are the counter windows produced
@@ -303,7 +331,9 @@ class Simulation:
         identifying labels (workload/cpu/os_mode names, instruction
         budget) on top of the full config fingerprint in ``self.params``;
         ``flags`` marks degraded provenance (e.g. ``["truncated"]`` when
-        a max-cycle budget cut the run short).
+        a max-cycle budget cut the run short).  ``mode`` and ``sampling``
+        record the execution tier and its leg plan / extrapolation /
+        checkpoint provenance for tiered runs.
         """
         from repro.analysis.artifact import RunArtifact
 
@@ -323,4 +353,6 @@ class Simulation:
             steady=steady,
             total=total,
             flags=list(flags or []),
+            mode=mode,
+            sampling=sampling,
         )

@@ -102,6 +102,32 @@ class SimStats:
             self._window = [0, 0, 0, 0]
             self._next_sample = self.cycles + self.timeline_interval
 
+    def charge_cycles(self, services: list[str], count: int) -> None:
+        """Charge *count* identical cycles attributed to *services*.
+
+        The fast-forward tier's bulk path for width-debt cycles, where
+        no architectural state changes between cycles so the service
+        attribution is constant; equivalent to *count* calls of
+        :meth:`charge_cycle` up to timeline-sample alignment (the sample
+        lands at the end of the block instead of mid-block).
+        """
+        self.cycles += count
+        sc = self.service_cycles
+        window = self._window
+        classes = self.class_cycles
+        for svc in services:
+            sc[svc] = sc.get(svc, 0) + count
+            cls = service_class(svc)
+            classes[cls] += count
+            window[cls] += count
+        if self.cycles >= self._next_sample:
+            total = sum(window) or 1
+            self.timeline.append(
+                (self.cycles, tuple(w / total for w in window))
+            )
+            self._window = [0, 0, 0, 0]
+            self._next_sample = self.cycles + self.timeline_interval
+
     # -- retirement -------------------------------------------------------------
 
     def retire(self, instr) -> None:
@@ -122,6 +148,33 @@ class SimStats:
             self.cond_by_mode[mode] += 1
             if instr.taken:
                 self.cond_taken_by_mode[mode] += 1
+
+    def retire_bulk(self, instr, count: int) -> None:
+        """Account *count* retired instructions represented by *instr*.
+
+        The fast-functional tier's bulk accounting: a materialized
+        instruction standing for ``count`` i.i.d. draws from the same
+        code-model mix charges every breakdown ``count`` times.
+        """
+        if count == 1:
+            self.retire(instr)
+            return
+        self.retired += count
+        mode = instr.mode
+        self.retired_by_mode[mode] += count
+        key = (mode, instr.itype)
+        self.itype_by_mode[key] = self.itype_by_mode.get(key, 0) + count
+        svc = instr.service
+        self.retired_by_service[svc] = self.retired_by_service.get(svc, 0) + count
+        itype = instr.itype
+        if itype is InstrType.LOAD or itype is InstrType.STORE or itype is InstrType.SYNC:
+            self.mem_by_mode[mode] += count
+            if instr.phys:
+                self.phys_mem_by_mode[mode] += count
+        elif itype is InstrType.COND_BRANCH:
+            self.cond_by_mode[mode] += count
+            if instr.taken:
+                self.cond_taken_by_mode[mode] += count
 
     # -- derived metrics --------------------------------------------------------
 

@@ -182,6 +182,16 @@ class Cache:
 
     # -- observability -----------------------------------------------------
 
+    def content_state(self) -> list:
+        """Deterministic content summary for checkpoint state digests:
+        per set, the resident lines in LRU order with their filler
+        attribution and sharing mask."""
+        return [
+            [[line, e.filler_tid, e.filler_kind, e.touched]
+             for line, e in s.items()]
+            for s in self._sets
+        ]
+
     def register_probes(self, registry, prefix: str) -> None:
         """Expose this cache's counters in a probe registry (derived
         probes only: the access hot path is untouched)."""

@@ -191,6 +191,38 @@ class MemoryHierarchy:
         latency += cfg.mem_latency
         return AccessResult(latency, False, False)
 
+    # -- warm-only path (fast-functional tier) -------------------------------
+
+    def warm_inst(self, addr: int, tid: int, kind: int) -> None:
+        """Instruction-side reference with state and miss accounting but no
+        timing: fills L1I (and L2 on an L1 miss) without MSHR, bus, or
+        latency modeling.  The fast-functional tier's I-side access."""
+        if self.omit_kernel_refs and kind:
+            return
+        if not self.l1i.access(addr, tid, kind):
+            self.l2.access(addr, tid, kind)
+
+    def warm_data(self, addr: int, tid: int, kind: int,
+                  write: bool = False) -> None:
+        """Data-side reference with state and miss accounting but no
+        timing (no port gate, MSHRs, buses, or store buffer)."""
+        if self.omit_kernel_refs and kind:
+            return
+        if not self.l1d.access(addr, tid, kind, write):
+            self.l2.access(addr, tid, kind, write)
+
+    def content_state(self) -> dict:
+        """Deterministic summary of every stateful structure's contents,
+        hashed into checkpoint state digests (see
+        :mod:`repro.core.checkpoint`)."""
+        return {
+            "l1i": self.l1i.content_state(),
+            "l1d": self.l1d.content_state(),
+            "l2": self.l2.content_state(),
+            "itlb": self.itlb.content_state(),
+            "dtlb": self.dtlb.content_state(),
+        }
+
     # -- OS operations -------------------------------------------------------
 
     def icache_flush(self) -> int:

@@ -135,6 +135,14 @@ class TLB:
             self.asn_flushes += 1
         return n
 
+    def content_state(self) -> list:
+        """Deterministic content summary for checkpoint state digests:
+        the resident translations in LRU order."""
+        return [
+            [asn, vpn, e.filler_tid, e.filler_kind]
+            for (asn, vpn), e in self._entries.items()
+        ]
+
     # -- observability -----------------------------------------------------
 
     def register_probes(self, registry, prefix: str) -> None:

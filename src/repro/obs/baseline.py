@@ -13,6 +13,10 @@ Scenarios:
 * ``specint`` / ``apache`` -- a fresh 400k-instruction smt/full
   simulation, no store involvement, so the number is pure simulator
   speed;
+* ``fast`` -- the same specint run through the fast-functional tier
+  (:mod:`repro.core.engine`), tracking the warm-up path's speed;
+* ``sampled`` -- a warm-up + interval-sampling plan over specint,
+  tracking the end-to-end speed of the sampled measurement tier;
 * ``report`` -- the full report build from a warm store (prefetch is
   excluded from the timing), i.e. the analysis layer's speed.
 
@@ -42,7 +46,7 @@ DEFAULT_INSTRUCTIONS = 400_000
 DEFAULT_TOLERANCE = 0.25
 
 #: Scenarios measured by a bare ``repro bench``.
-DEFAULT_SCENARIOS = ("specint", "apache")
+DEFAULT_SCENARIOS = ("specint", "apache", "fast", "sampled")
 
 #: Gated host metrics and the direction that counts as a regression.
 _GATE_METRICS = (
@@ -102,6 +106,52 @@ def _measure_sim(workload: str, instructions: int) -> dict:
     return {"host": host, "sim": sim_section}
 
 
+def _measure_tiered(mode: str, instructions: int) -> dict:
+    """Time one fresh tiered specint/smt/full plan (no store).
+
+    ``fast`` runs the whole budget through the fast-functional tier;
+    ``sampled`` runs a quarter-budget warm-up followed by 95:5
+    fast:detailed interval sampling -- the same shape the sampled-smoke
+    CI job executes, so its trajectory predicts that job's wall clock.
+    """
+    from repro.analysis.experiments import build_simulation
+    from repro.core.engine import build_plan, run_plan
+
+    warmup = 0
+    sample = None
+    if mode == "sampled":
+        warmup = instructions // 4
+        period = max(instructions // 10, 2_000)
+        measure_leg = max(period // 20, 1_000)
+        sample = (period - measure_leg, measure_leg)
+    plan = build_plan(mode, instructions, warmup=warmup, sample=sample)
+    sim = build_simulation("specint", "smt", "full", seed=11)
+    t0 = time.perf_counter()
+    records, samples = run_plan(sim, plan)
+    wall = time.perf_counter() - t0
+    retired = sim.stats.retired
+    cycles = sim.stats.cycles
+    sim_section = {
+        "cycles": cycles,
+        "retired": retired,
+        "ipc": round(retired / cycles, 4) if cycles else 0.0,
+        "legs": len(records),
+        "fast_instructions": sim.tier.fast_instructions,
+        "fast_materialized": sim.tier.fast_materialized,
+        "detailed_instructions": sim.tier.detailed_instructions,
+    }
+    if mode == "sampled":
+        sim_section["sample_windows"] = len(samples)
+        sim_section["measured_instructions"] = sum(
+            w.get("retired", 0) for w in samples)
+    host = {"wall_s": round(wall, 3),
+            "ips": round(retired / wall, 1) if wall > 0 else 0.0}
+    rss = _max_rss_kb()
+    if rss is not None:
+        host["max_rss_kb"] = rss
+    return {"host": host, "sim": sim_section}
+
+
 def _measure_report(instructions: int | None = None) -> dict:
     """Time the full report build from a warm store (prefetch untimed)."""
     from repro.analysis.report import build_report
@@ -127,6 +177,10 @@ SCENARIOS = {
                 lambda n: _measure_sim("specint", n)),
     "apache": ("fresh apache/smt/full simulation, store-free",
                lambda n: _measure_sim("apache", n)),
+    "fast": ("fast-functional specint/smt/full plan, store-free",
+             lambda n: _measure_tiered("fast", n)),
+    "sampled": ("warm-up + 95:5 interval-sampled specint/smt/full plan",
+                lambda n: _measure_tiered("sampled", n)),
     "report": ("full report build from a warm run store",
                _measure_report),
 }

@@ -715,6 +715,48 @@ class MiniDUX:
         if self.interrupts.pending:
             self.interrupts.dispatch(self._deliver_interrupt)
 
+    def state_summary(self) -> dict:
+        """Deterministic, JSON-safe summary of kernel execution state.
+
+        Hashed into checkpoint state digests (see
+        :mod:`repro.core.checkpoint`): two runs of the same config whose
+        summaries match are at the same point of the same trajectory.
+        RNG states are captured via ``repr`` -- exact, cheap, and only
+        ever compared by hash.
+        """
+        sched = self.scheduler
+        return {
+            "threads": [
+                [t.tid, t.name, t.state.name, t.halt_until, len(t.frames),
+                 len(t.pending), t.instructions_generated, t.trap_depth]
+                for t in self.threads
+            ],
+            "cpu_threads": [
+                [t.tid, len(t.frames), len(t.pending)]
+                for t in self.cpu_threads
+            ],
+            "scheduler": {
+                "current": [t.tid if t is not None else None
+                            for t in sched.current],
+                "run_queue": [t.tid for t in sched.run_queue],
+                "quantum_end": list(sched.quantum_end),
+                "switches": sched.switches,
+                "asn_recycles": sched.asn_recycles,
+                "rng": repr(sched.rng.getstate()),
+            },
+            "wait_queues": {
+                name: [t.tid for t in q]
+                for name, q in sorted(self.wait_queues.items()) if q
+            },
+            "marks": sorted(
+                [name, label, cycle]
+                for (name, label), cycle in self.marks.items()
+            ),
+            "next_timer": self._next_timer,
+            "syscalls": dict(sorted(self.syscall_counts.items())),
+            "rng": repr(self.rng.getstate()),
+        }
+
     # -- context switching --------------------------------------------------------
 
     def _on_switch(self, ctx: int, old: SoftwareThread | None, new: SoftwareThread) -> None:

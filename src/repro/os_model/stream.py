@@ -65,6 +65,53 @@ class ContextStream:
             return None
         return self._thread_next(thread, now)
 
+    def next_fast(self, now: int, skip: int) -> tuple[Instruction | None, int]:
+        """Fast-functional feed: one materialized instruction plus the
+        *weight* it stands for (see :mod:`repro.core.engine`).
+
+        Identical to :meth:`next_instruction` except that an instruction
+        drawn from a started frame may consume up to *skip* additional
+        instructions of that frame's budget without materializing them
+        -- the returned instruction is an i.i.d. draw from the same
+        code-model mix, so weighting it by ``1 + skipped`` keeps every
+        retired-instruction statistic unbiased.  Frame *dynamics* are
+        stride-independent: locks are acquired at frame start and
+        released at completion, and completion (dispatch, wake-ups,
+        syscall returns) triggers when the budget reaches zero, which
+        skipping reaches with the identical retired-instruction count.
+        PAL, spin, replayed and TLB-deferred instructions always
+        materialize one-for-one.
+        """
+        if self.replay:
+            return self.replay.popleft(), 1
+        os = self.os
+        cpu = self.cpu
+        if cpu.frames or cpu.pending:
+            instr = self._thread_next(cpu, now)
+            if instr is not None:
+                return instr, 1
+        sched = os.scheduler
+        if sched.should_resched(self.ctx, now):
+            new = sched.pick_next(self.ctx)
+            sched.install(self.ctx, new, now)
+            if cpu.frames:
+                instr = self._thread_next(cpu, now)
+                if instr is not None:
+                    return instr, 1
+        thread = sched.current[self.ctx]
+        if thread is None or not thread.runnable:
+            return None, 0
+        instr = self._thread_next(thread, now)
+        if instr is None:
+            return None, 0
+        if skip and instr.mode is not Mode.PAL and not thread.pending:
+            fr = thread.frames[-1] if thread.frames else None
+            if fr is not None and fr.started and fr.budget > skip:
+                fr.budget -= skip
+                thread.instructions_generated += skip
+                return instr, 1 + skip
+        return instr, 1
+
     def push_replay(self, instructions) -> None:
         """Queue squashed correct-path instructions for redelivery, oldest
         first (called by the core on a misprediction squash)."""

@@ -1,0 +1,92 @@
+"""Store-backed checkpoints: content-addressed put/get, kind-aware
+listing, verification, and garbage collection alongside run artifacts
+(the ``repro cache`` satellite of the tiered engine)."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import build_simulation
+from repro.analysis.store import RunStore
+from repro.core import checkpoint
+from repro.core.engine import Leg, run_plan
+
+
+@pytest.fixture(scope="module")
+def ckpt_payload():
+    plan = [Leg("fast", 4_000)]
+    sim = build_simulation("specint", "smt", "full", seed=31)
+    run_plan(sim, plan)
+    return checkpoint.take(sim, plan)
+
+
+def test_put_get_checkpoint_roundtrip(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    path = store.put_checkpoint(ckpt_payload)
+    assert path.name.startswith("ckpt-")
+    got = store.get_checkpoint(ckpt_payload["fingerprint"])
+    assert got == ckpt_payload
+
+
+def test_get_checkpoint_misses_on_unknown_fingerprint(tmp_path):
+    assert RunStore(tmp_path).get_checkpoint("0" * 64) is None
+
+
+def test_get_checkpoint_treats_stale_schema_as_miss(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    stale = dict(ckpt_payload, checkpoint_schema=checkpoint.CHECKPOINT_SCHEMA + 1)
+    path = store.put_checkpoint(stale)
+    assert store.get_checkpoint(ckpt_payload["fingerprint"]) is None
+    assert path.exists()  # stale, not deleted: that is gc's job
+
+
+def test_run_get_never_returns_a_checkpoint(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    store.put_checkpoint(ckpt_payload)
+    assert store.get(ckpt_payload["fingerprint"]) is None
+
+
+def test_entries_report_checkpoint_kind(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    store.put_checkpoint(ckpt_payload)
+    (entry,) = store.entries()
+    assert entry.kind == "checkpoint"
+    assert entry.schema_version == checkpoint.CHECKPOINT_SCHEMA
+    assert entry.label.startswith("ckpt:")
+    assert entry.fingerprint == ckpt_payload["fingerprint"]
+
+
+def test_verify_accepts_valid_checkpoint(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    store.put_checkpoint(ckpt_payload)
+    (record,) = store.verify()
+    assert record["status"] == "ok"
+
+
+def test_verify_flags_tampered_checkpoint(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    path = store.put_checkpoint(ckpt_payload)
+    payload = json.loads(path.read_text())
+    payload["stride"] = payload["stride"] + 1  # changes what it reproduces
+    path.write_text(json.dumps(payload))
+    (record,) = store.verify()
+    assert record["status"] in ("MISMATCH", "CHECKSUM")
+
+
+def test_verify_skips_stale_checkpoint_schema(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    stale = dict(ckpt_payload, checkpoint_schema=checkpoint.CHECKPOINT_SCHEMA + 1)
+    store.put_checkpoint(stale)
+    (record,) = store.verify()
+    assert record["status"] == "SKIP"
+
+
+def test_gc_removes_stale_checkpoints_only(tmp_path, ckpt_payload):
+    store = RunStore(tmp_path)
+    store.put_checkpoint(ckpt_payload)
+    stale = dict(ckpt_payload, checkpoint_schema=checkpoint.CHECKPOINT_SCHEMA + 1,
+                 boundary=ckpt_payload["boundary"] + 1)
+    stale_path = store.put_checkpoint(stale)
+    removed = store.gc()
+    assert [e.path for e in removed] == [stale_path]
+    assert store.get_checkpoint(ckpt_payload["fingerprint"]) == ckpt_payload

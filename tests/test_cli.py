@@ -143,7 +143,7 @@ def test_cli_prefetch_and_cache_lifecycle(tmp_path, monkeypatch, capsys):
     experiments.clear_cache()
     monkeypatch.setattr(
         experiments, "execute_spec",
-        lambda spec: (_ for _ in ()).throw(
+        lambda spec, **kwargs: (_ for _ in ()).throw(
             AssertionError("prefetch re-ran a stored spec")))
     assert cli.main(["prefetch"]) == 0
     assert "8 canonical runs ready" in capsys.readouterr().out
@@ -319,3 +319,61 @@ def test_cli_chaos_single_scenario_json(tmp_path, capsys):
     payload = json.loads(out_path.read_text())
     assert payload["scenarios"][0]["name"] == "worker-crash"
     assert payload["scenarios"][0]["survived"] is True
+
+
+# -- tiered execution surface ------------------------------------------------
+
+
+def test_cli_run_fast_mode(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["run", "specint", "--mode", "fast"]) == 0
+    out = capsys.readouterr().out
+    assert "execution mode      fast" in out
+    assert "leg plan" in out and "stride" in out
+
+
+def test_cli_run_sampled_mode_with_checkpoint(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    args = ["run", "specint", "--instructions", "12000", "--mode", "sampled",
+            "--warmup", "4000", "--sample", "4000:2000", "--checkpoint"]
+    assert cli.main(args) == 0
+    out = capsys.readouterr().out
+    assert "execution mode      sampled" in out
+    assert "saved to store" in out
+    assert "sampled windows" in out
+    assert "+/-" in out  # extrapolated estimates carry error bars
+
+    # Same spec again: served from the store (same fingerprint), but a
+    # fresh forced execution restores the warm-up checkpoint.
+    experiments.clear_cache()
+    assert cli.main(args + ["--progress"]) == 0
+    assert "restored from store" in capsys.readouterr().out
+
+
+def test_cli_run_rejects_bad_sample(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    with pytest.raises(SystemExit, match="want N:M"):
+        cli.main(["run", "specint", "--mode", "sampled", "--sample", "9"])
+    with pytest.raises(SystemExit, match="integers"):
+        cli.main(["run", "specint", "--mode", "sampled", "--sample", "a:b"])
+
+
+def test_cli_cache_ls_shows_checkpoint_kind(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cli.main(["run", "specint", "--instructions", "12000",
+                     "--mode", "sampled", "--warmup", "4000",
+                     "--sample", "4000:2000", "--checkpoint"]) == 0
+    capsys.readouterr()
+    assert cli.main(["cache", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint" in out
+    assert "ckpt:" in out
+    assert "1 stored run(s), 1 checkpoint(s)" in out
+    assert "stale" not in out
+
+    assert cli.main(["cache", "ls", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "0 problem(s)" in out
+
+    assert cli.main(["cache", "gc"]) == 0
+    assert "no stale-schema entries" in capsys.readouterr().out

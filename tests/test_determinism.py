@@ -33,3 +33,92 @@ def test_different_seeds_actually_differ():
     a = _snapshot_bytes("specint", "smt", "full", seed=11, instructions=4_000)
     b = _snapshot_bytes("specint", "smt", "full", seed=12, instructions=4_000)
     assert a != b  # otherwise the diff engine's noise bands are meaningless
+
+
+# -- tiered execution (see docs/execution-modes.md) --------------------------
+#
+# The same contract extends to every execution tier: a config plus a
+# *mode plan* is one deterministic trajectory, so fast-forward legs,
+# sampled plans, and checkpoint-restored runs must all replay to
+# byte-identical probe snapshots.
+
+
+def _fast_snapshot_bytes(seed, instructions, stride):
+    sim = build_simulation("specint", "smt", "full", seed=seed)
+    sim.run_fast(max_instructions=instructions, stride=stride)
+    return canonical_json(capture(sim)["probes"]).encode()
+
+
+def test_fast_mode_is_byte_identical():
+    a = _fast_snapshot_bytes(seed=11, instructions=8_000, stride=8)
+    b = _fast_snapshot_bytes(seed=11, instructions=8_000, stride=8)
+    assert a == b
+
+
+def test_fast_mode_stride_is_part_of_the_trajectory():
+    # Different strides are different (each internally deterministic)
+    # trajectories; the stride is therefore part of a run's identity.
+    a = _fast_snapshot_bytes(seed=11, instructions=8_000, stride=8)
+    b = _fast_snapshot_bytes(seed=11, instructions=8_000, stride=4)
+    assert a != b
+
+
+def test_sampled_plan_replays_byte_identical_windows():
+    from repro.core.engine import build_plan, run_plan
+
+    def windows():
+        sim = build_simulation("specint", "smt", "full", seed=11)
+        plan = build_plan("sampled", 12_000, warmup=4_000,
+                         sample=(4_000, 2_000))
+        _, samples = run_plan(sim, plan)
+        return [canonical_json(w["probes"]) for w in samples]
+
+    first, second = windows(), windows()
+    assert first and first == second
+
+
+def test_checkpoint_restore_then_run_matches_straight_through():
+    # The ISSUE-6 acceptance test: restore at K, run to 2K, and compare
+    # byte-for-byte against a straight-through run of the same plan.
+    from repro.core import checkpoint
+    from repro.core.engine import Leg, run_plan
+
+    k = 6_000
+    straight = build_simulation("specint", "smt", "full", seed=11)
+    run_plan(straight, [Leg("fast", k), Leg("fast", k)])
+
+    saver = build_simulation("specint", "smt", "full", seed=11)
+    run_plan(saver, [Leg("fast", k)])
+    ckpt = checkpoint.take(saver, [Leg("fast", k)])
+
+    resumed = build_simulation("specint", "smt", "full", seed=11)
+    checkpoint.restore(resumed, ckpt)
+    run_plan(resumed, [Leg("fast", k)])
+
+    assert resumed.stats.retired == straight.stats.retired
+    assert resumed.now == straight.now
+    a = canonical_json(capture(straight)["probes"]).encode()
+    b = canonical_json(capture(resumed)["probes"]).encode()
+    assert a == b
+
+
+def test_checkpointed_artifact_equals_straight_through(tmp_path, monkeypatch):
+    # End to end through the store: executing the same tiered spec with
+    # and without checkpoint reuse yields byte-identical artifacts
+    # (checkpointing is an execution option, never part of the result).
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.analysis import experiments
+
+    spec = experiments.run_spec("specint", "smt", "full", 12_000, seed=11,
+                                mode="sampled", warmup=4_000,
+                                sample=(4_000, 2_000))
+    plain = experiments.execute_spec(spec)
+    saved = experiments.execute_spec(spec, checkpoint=True)   # saves
+    restored = experiments.execute_spec(spec, checkpoint=True)  # restores
+    assert saved.sampling["checkpoint"]["restored"] is False
+    assert restored.sampling["checkpoint"]["restored"] is True
+    for window in ("startup", "steady", "total"):
+        assert (canonical_json(plain.window(window))
+                == canonical_json(saved.window(window))
+                == canonical_json(restored.window(window)))
+    assert plain.fingerprint == saved.fingerprint == restored.fingerprint

@@ -59,9 +59,9 @@ def test_run_many_force_reexecutes(monkeypatch):
     calls = []
     original = experiments.execute_spec
 
-    def spy(spec):
+    def spy(spec, **kwargs):
         calls.append(spec["workload"])
-        return original(spec)
+        return original(spec, **kwargs)
 
     monkeypatch.setattr(experiments, "execute_spec", spy)
     runner.run_many(triples, max_workers=1, force=True)
@@ -136,3 +136,26 @@ def test_prefetch_all_falls_back_to_serial_on_broken_pool(monkeypatch):
     artifacts = runner.prefetch_all(max_workers=4)
     assert len(artifacts) == 8
     assert len(RunStore().entries()) == 8
+
+
+def test_run_many_carries_tier_keys_through_dict_items():
+    item = {"workload": "specint", "cpu": "smt", "os_mode": "full",
+            "instructions": 12_000, "mode": "sampled", "warmup": 4_000,
+            "sample": (4_000, 2_000)}
+    result = runner.run_many([item], max_workers=1, checkpoint=True)
+    (artifact,) = result.values()
+    assert artifact.mode == "sampled"
+    assert artifact.spec["mode"] == "sampled"
+    assert artifact.spec["warmup"] == 4_000
+    assert artifact.spec["sample"] == [4_000, 2_000]
+    assert artifact.sampling["checkpoint"]["restored"] is False
+    # The checkpoint landed next to the run in the shared store.
+    store = RunStore()
+    kinds = sorted(e.kind for e in store.entries())
+    assert kinds == ["checkpoint", "run"]
+    # A forced re-run restores it.
+    again = runner.run_many([item], max_workers=1, force=True,
+                            checkpoint=True)
+    (rerun,) = again.values()
+    assert rerun.sampling["checkpoint"]["restored"] is True
+    assert rerun.steady == artifact.steady
