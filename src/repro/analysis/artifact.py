@@ -36,7 +36,9 @@ from dataclasses import dataclass, field
 #: v5: artifacts carry the execution ``mode`` ("full" / "fast" /
 #: "sampled") and, for tiered runs, a ``sampling`` record (leg records,
 #: extrapolated probe estimates with error bars, checkpoint provenance).
-SCHEMA_VERSION = 5
+#: v6: counter windows carry a call-path ``attribution`` section
+#: (``;``-joined span chain -> context-cycles; see repro.obs.flame).
+SCHEMA_VERSION = 6
 
 #: Coarse code-version tag folded into every fingerprint.  Bump when the
 #: *simulator's* behavior changes (new counters, different scheduling,

@@ -87,6 +87,10 @@ def capture(sim: Simulation) -> dict:
         # core.*), flattened and sorted: every window of a stored artifact
         # carries full counter detail (see `repro counters`).
         "probes": sim.obs.snapshot(),
+        # Call-path cycle attribution (schema v6): context-cycles per
+        # ";"-joined span chain; ``diff`` windows it like any counter dict
+        # and repro.obs.flame folds it into flamegraph output.
+        "attribution": sim.attrib.snapshot(),
     }
     return snap
 

@@ -21,6 +21,8 @@
     python -m repro counters specint --grep mem.l2
     python -m repro counters specint --against specint-ss-full
     python -m repro diff specint-smt-app specint-smt-full --seeds 3
+    python -m repro flame apache --out apache.folded
+    python -m repro diff apache-ss-full apache-smt-full --flame
     python -m repro bench --check
     python -m repro trace specint --out trace.json
     python -m repro profile specint
@@ -29,7 +31,10 @@
 canonical runs.  ``counters`` reads the hierarchical probe tree out of a
 stored artifact (``--against`` diffs it against a second stored run);
 ``diff`` structurally compares two runs probe by probe, with optional
-repeated-seed noise filtering; ``bench`` measures the simulator's own
+repeated-seed noise filtering (``--flame`` compares call-path
+attribution tables instead); ``flame`` folds a run's call-path cycle
+attribution into flamegraph.pl/speedscope input; ``bench`` measures the
+simulator's own
 speed on standardized scenarios, writes ``BENCH_<scenario>.json``
 trajectory files, and gates regressions with ``--check``; ``trace``
 re-runs a workload with the event bus attached and exports a Chrome
@@ -434,9 +439,10 @@ def _cmd_counters(args) -> int:
         return _counters_against(args, rec)
     probes = rec.window(args.window).get("probes", {})
     if args.grep:
-        probes = {k: v for k, v in probes.items() if k.startswith(args.grep)}
+        pattern = _compile_grep_or_exit(args.grep)
+        probes = {k: v for k, v in probes.items() if pattern.search(k)}
     if not probes:
-        print(f"no probes match prefix {args.grep!r}" if args.grep
+        print(f"no probes match regex {args.grep!r}" if args.grep
               else "artifact carries no probe snapshot (pre-v2 schema?)")
         return 1
     import json as _json
@@ -468,11 +474,26 @@ def _counters_against(args, rec) -> int:
     other = _resolve_run_arg(args.against, args.instructions, args.seed)
     report = diff_artifacts(other, rec, window=args.window, grep=args.grep)
     if not report.deltas:
-        print(f"no probes match prefix {args.grep!r}" if args.grep
+        print(f"no probes match regex {args.grep!r}" if args.grep
               else "no probes to compare")
         return 1
     print(report.render(show_all=True))
     return 0
+
+
+def _compile_grep_or_exit(pattern: str):
+    """Compile a ``--grep`` regex, turning ``re.error`` into a CLI error.
+
+    Grep patterns are unanchored regexes matched with ``re.search``
+    (:func:`repro.obs.diff.compile_grep`): plain prefixes like ``mem.l2``
+    keep working, and ``^``/``$`` anchor explicitly when needed.
+    """
+    from repro.obs.diff import compile_grep
+
+    try:
+        return compile_grep(pattern)
+    except ValueError as exc:
+        raise SystemExit(f"bad --grep: {exc}")
 
 
 def _resolve_run_arg(text: str, instructions, seed):
@@ -501,7 +522,10 @@ def _resolve_run_arg(text: str, instructions, seed):
 
 def _cmd_diff(args) -> int:
     from repro.obs.diff import diff_artifacts, diff_runs
+    from repro.obs.flame import diff_flame_artifacts, diff_flame_runs
 
+    if args.grep:
+        _compile_grep_or_exit(args.grep)
     if args.seeds > 1:
         for text in (args.run_a, args.run_b):
             if text.endswith(".json"):
@@ -518,15 +542,17 @@ def _cmd_diff(args) -> int:
                     "os_mode": parts[2], "instructions": args.instructions,
                     "seed": args.seed}
 
-        report = diff_runs(_side(args.run_a), _side(args.run_b),
-                           window=args.window, grep=args.grep,
-                           seeds=args.seeds, per_kilo=args.per_kilo,
-                           max_workers=args.workers)
+        fn = diff_flame_runs if args.flame else diff_runs
+        report = fn(_side(args.run_a), _side(args.run_b),
+                    window=args.window, grep=args.grep,
+                    seeds=args.seeds, per_kilo=args.per_kilo,
+                    max_workers=args.workers)
     else:
         art_a = _resolve_run_arg(args.run_a, args.instructions, args.seed)
         art_b = _resolve_run_arg(args.run_b, args.instructions, args.seed)
-        report = diff_artifacts(art_a, art_b, window=args.window,
-                                grep=args.grep, per_kilo=args.per_kilo)
+        fn = diff_flame_artifacts if args.flame else diff_artifacts
+        report = fn(art_a, art_b, window=args.window,
+                    grep=args.grep, per_kilo=args.per_kilo)
     if args.json:
         import json as _json
 
@@ -536,6 +562,53 @@ def _cmd_diff(args) -> int:
             f.write("\n")
         print(f"wrote {args.json}")
     print(report.render(n=args.top, key=args.sort, show_all=args.all))
+    return 0
+
+
+def _cmd_flame(args) -> int:
+    """``repro flame``: fold one run's call-path attribution table.
+
+    Prints a ranked call-path table; ``--out`` additionally writes the
+    folded-stack file (``path;frames count`` lines) that flamegraph.pl
+    and speedscope import directly.
+    """
+    from repro.obs import flame
+
+    if args.grep:
+        _compile_grep_or_exit(args.grep)
+    rec = _resolve_run_arg(args.run, args.instructions, args.seed)
+    window = rec.window(args.window)
+    paths = flame.flame_paths(window)
+    if not paths:
+        print("artifact window carries no attribution table "
+              "(pre-v6 schema? re-run to refresh)")
+        return 1
+    folded = flame.fold(paths, grep=args.grep)
+    if args.grep and not folded:
+        print(f"no call paths match regex {args.grep!r}")
+        return 1
+    if args.out:
+        _guard_overwrite(args.out, args.force)
+        with open(args.out, "w") as f:
+            f.write(folded)
+        print(f"wrote {args.out} ({folded.count(chr(10))} folded path(s))")
+    if args.json:
+        import json as _json
+
+        _guard_overwrite(args.json, args.force)
+        payload = {"label": rec.label, "fingerprint": rec.fingerprint,
+                   "window": args.window, "grep": args.grep,
+                   "attribution": {k: v for k, v in sorted(paths.items())}}
+        with open(args.json, "w") as f:
+            _json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    print(flame.render_table(paths, top=args.top, grep=args.grep))
+    print(f"[{args.window} window] {rec.label} ({rec.fingerprint[:12]})")
+    dropped = window.get("probes", {}).get("core.events.dropped", 0)
+    if dropped:
+        print(f"warning: event ring dropped {dropped} event(s) during this "
+              "run; span-derived paths may be truncated")
     return 0
 
 
@@ -608,6 +681,10 @@ def _cmd_trace(args) -> int:
     kinds = ", ".join(f"{k}={v}" for k, v in sorted(bus.counts().items()))
     print(f"wrote {args.out} ({len(bus)} events: {kinds}; "
           f"{bus.dropped} dropped)")
+    if bus.dropped:
+        print(f"warning: event ring overflowed; the oldest {bus.dropped} "
+              f"event(s) were dropped and the profile is truncated "
+              f"(raise --capacity, currently {args.capacity})")
     return 0
 
 
@@ -820,9 +897,10 @@ def main(argv=None) -> int:
     p_cnt.add_argument("--seed", type=int, default=11)
     p_cnt.add_argument("--window", choices=["startup", "steady", "total"],
                        default="total")
-    p_cnt.add_argument("--grep", default=None, metavar="PREFIX",
-                       help="only probes whose name starts with PREFIX "
-                            "(e.g. mem.l2, os.syscall)")
+    p_cnt.add_argument("--grep", default=None, metavar="REGEX",
+                       help="only probes whose name matches REGEX "
+                            "(unanchored search: plain prefixes like "
+                            "mem.l2 or os.syscall still work)")
     p_cnt.add_argument("--against", default=None, metavar="RUN",
                        help="diff against a second run "
                             "(workload-cpu-os_mode label or artifact path)")
@@ -836,8 +914,13 @@ def main(argv=None) -> int:
     p_diff.add_argument("run_b", metavar="runB")
     p_diff.add_argument("--window", choices=["startup", "steady", "total"],
                         default="steady")
-    p_diff.add_argument("--grep", default=None, metavar="PREFIX",
-                        help="only probes whose name starts with PREFIX")
+    p_diff.add_argument("--grep", default=None, metavar="REGEX",
+                        help="only probes (or call paths with --flame) "
+                             "matching REGEX (unanchored search)")
+    p_diff.add_argument("--flame", action="store_true",
+                        help="diff call-path attribution tables instead of "
+                             "flat probes: ranked ;-joined span-chain "
+                             "movers with the same noise bands")
     p_diff.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run each side under N consecutive seeds and "
                              "filter deltas inside the noise band")
@@ -861,6 +944,33 @@ def main(argv=None) -> int:
     p_diff.add_argument("--workers", type=int, default=None,
                         help="process count for seed fan-out")
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_flame = sub.add_parser(
+        "flame",
+        help="fold a stored run's call-path attribution into "
+             "flamegraph input")
+    p_flame.add_argument("run", metavar="run",
+                         help="workload-cpu-os_mode label or artifact .json")
+    p_flame.add_argument("--window", choices=["startup", "steady", "total"],
+                         default="steady")
+    p_flame.add_argument("--instructions", type=int, default=None,
+                         help="instruction budget for label-resolved runs")
+    p_flame.add_argument("--seed", type=int, default=11,
+                         help="seed for label-resolved runs")
+    p_flame.add_argument("--grep", default=None, metavar="REGEX",
+                         help="only call paths matching REGEX "
+                              "(unanchored search over the whole "
+                              ";-joined path)")
+    p_flame.add_argument("--out", default=None, metavar="FILE",
+                         help="write folded-stack lines here "
+                              "(flamegraph.pl / speedscope input)")
+    p_flame.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the raw attribution table here")
+    p_flame.add_argument("--top", type=int, default=30,
+                         help="table rows to print (default 30)")
+    p_flame.add_argument("--force", action="store_true",
+                         help="overwrite existing --out/--json files")
+    p_flame.set_defaults(func=_cmd_flame)
 
     p_bench = sub.add_parser(
         "bench",

@@ -174,6 +174,13 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
     heartbeat = sim.heartbeat
     beat = heartbeat.beat if heartbeat is not None else None
     hb_mask = heartbeat.mask if heartbeat is not None else 0
+    attrib = sim.attrib
+    # Interval attribution, detailed-tier style: a stream's call path is
+    # re-derived only when its charged service changes (current_attrib
+    # walks frames; doing it per charge costs ~10% of the fast loop).
+    # None forces a first-charge derivation for every stream, which is
+    # also the alignment sweep after a detailed leg ran in between.
+    last_svc: list = [None] * n
     load_t = InstrType.LOAD
     store_t = InstrType.STORE
     sync_t = InstrType.SYNC
@@ -200,7 +207,22 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
                 hb_room = hb_mask + 1 - (now & hb_mask)
                 if jump > hb_room:
                     jump = hb_room
-            charge_n([s.current_service for s in streams], jump)
+            if attrib is None:
+                charge_n([s.current_service for s in streams], jump)
+            else:
+                services = []
+                for i in range(n):
+                    s = streams[i]
+                    svc = s.current_service
+                    services.append(svc)
+                    if svc != last_svc[i]:
+                        # os_tick just above may have delivered interrupts
+                        # (new frames + spans): re-derive the path whenever
+                        # the observed service moved, so the settled
+                        # interval matches the cycles charged to it.
+                        last_svc[i] = svc
+                        attrib.switch(s.ctx, s.current_attrib[1])
+                charge_n(services, jump)
             pay = jump * per_ctx
             for i in range(n):
                 debt[i] -= pay
@@ -263,7 +285,18 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
                     budget -= weight
             if budget <= 0:
                 break
-        charge([s.current_service for s in streams])
+        if attrib is None:
+            charge([s.current_service for s in streams])
+        else:
+            services = []
+            for i in range(n):
+                s = streams[i]
+                svc = s.current_service
+                services.append(svc)
+                if svc != last_svc[i]:
+                    last_svc[i] = svc
+                    attrib.switch(s.ctx, s.current_attrib[1])
+            charge(services)
         tier.fast_instructions += delivered
         tier.fast_materialized += materialized
         tier.fast_cycles += 1

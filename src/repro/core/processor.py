@@ -52,6 +52,7 @@ class _HWContext:
         "last_line",
         "queued",
         "current_service",
+        "current_path",
     )
 
     def __init__(self, index: int, stream) -> None:
@@ -63,6 +64,9 @@ class _HWContext:
         self.last_line = -1
         self.queued = 0
         self.current_service = "idle"
+        #: Call path being charged for this context's cycles; its leaf is
+        #: always ``current_service`` (see repro.core.stats.Attribution).
+        self.current_path = "idle"
 
 
 class Processor:
@@ -101,6 +105,9 @@ class Processor:
         self.tracer = None
         #: Optional EventBus (see repro.obs.events); None = no events.
         self.events = None
+        #: Optional call-path Attribution (see repro.core.stats); wired by
+        #: Simulation.  None = flat service accounting only.
+        self.attrib = None
         if registry is not None:
             self.register_probes(registry)
 
@@ -463,14 +470,24 @@ class Processor:
             self.int_count += 1
         ctx.queued += 1
         self.inflight += 1
-        if self.events is not None and instr.service != ctx.current_service:
-            # Per-context service-occupancy spans: close the old service's
-            # span and open the new one (exported as one track per ctx).
-            self.events.emit(now, "pipeline", ctx.current_service, "E",
-                             ctx=ctx.index, service=ctx.current_service)
-            self.events.emit(now, "pipeline", instr.service, "B",
-                             ctx=ctx.index, service=instr.service)
-        ctx.current_service = instr.service
+        if instr.service != ctx.current_service:
+            if self.events is not None:
+                # Per-context service-occupancy spans: close the old
+                # service's span and open the new one (exported as one
+                # track per ctx).
+                self.events.emit(now, "pipeline", ctx.current_service, "E",
+                                 ctx=ctx.index, service=ctx.current_service)
+                self.events.emit(now, "pipeline", instr.service, "B",
+                                 ctx=ctx.index, service=instr.service)
+            ctx.current_service = instr.service
+            attrib = self.attrib
+            if attrib is not None:
+                # Re-derive the call path only when the charged service
+                # changes; the cycles since the last change all belong to
+                # the previous (service, path) pair, which switch() settles.
+                path = attrib.path_of(instr.thread_id, instr.service)
+                ctx.current_path = path
+                attrib.switch(ctx.index, path)
         if self.tracer is not None:
             self.tracer.record(now, "F", ctx.index, instr)
 

@@ -15,7 +15,7 @@ from dataclasses import asdict, dataclass
 from repro.core.config import MachineConfig
 from repro.core.engine import FF_STRIDE_DEFAULT, TierStats, fast_forward
 from repro.core.processor import Processor
-from repro.core.stats import SimStats
+from repro.core.stats import Attribution, SimStats
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.os_model.kernel import MiniDUX, OSMode
 
@@ -157,6 +157,17 @@ class Simulation:
             rng, registry=self.obs)
         # Context switches invalidate the per-context return stacks.
         self.os.switch_listeners.append(self.processor.branch_unit.clear_context)
+        # Call-path cycle attribution (always on: it adds no RNG draws and
+        # no timing effects, so the simulated trajectory is unchanged; the
+        # cost is one dict probe per *service change*, not per cycle).
+        self.attrib = Attribution(self.stats, self.machine.cpu.n_contexts,
+                                  self.os.threads_by_tid)
+        self.processor.attrib = self.attrib
+        # Event-ring truncation is part of the run's provenance: when this
+        # probe is nonzero, trace/flame output covers a suffix of the run.
+        self.obs.derive(
+            "core.events.dropped",
+            lambda: self.events.dropped if self.events is not None else 0)
         # Tiered-engine accounting (core.mode.* probes; all zero unless
         # fast-forward / sampling / checkpointing is used).
         self.tier = TierStats()
@@ -265,6 +276,15 @@ class Simulation:
         now = self._now
         limit_cycles = max_cycles if max_cycles is not None else (1 << 62)
         heartbeat = self.heartbeat
+        # Align attribution with the detailed tier's charging view: the
+        # pipeline charges ctx.current_service until the next _admit, so
+        # any fast-leg cycles still open are settled to the fast path and
+        # charging resumes on the context's stored (service, path) pair.
+        # Idempotent (one string compare per context) when already aligned.
+        attrib = self.attrib
+        if attrib is not None:
+            for c in self.processor.contexts:
+                attrib.switch(c.index, c.current_path)
         if profiler is not None:
             tick_scope = profiler("os.tick")
             cycle_scope = profiler("core.cycle")

@@ -225,3 +225,78 @@ class SimStats:
         if not total:
             return {}
         return {k: v / total for k, v in self.service_cycles.items()}
+
+
+class Attribution:
+    """Simulated-cycle call-path attribution.
+
+    Charges every context-cycle to a *call path*: the chain of open
+    kernel-service spans on the running software thread
+    (:meth:`repro.os_model.thread.SoftwareThread.service_path`) with the
+    charged service as the leaf, joined with ``;`` -- e.g.
+    ``syscall:read;tlb:refill;pal:dtlb``.  Folding :attr:`path_cycles`
+    yields a flamegraph of simulated time (:mod:`repro.obs.flame`).
+
+    Accounting is *interval-based*: a context's current path is only
+    re-derived when its charged service changes (detailed tier) or once
+    per nominal cycle (fast tier), and the cycles in between are charged
+    in one block using :attr:`SimStats.cycles` deltas.  That is exact
+    because every charge call (:meth:`SimStats.charge_cycle` /
+    :meth:`SimStats.charge_cycles`) advances ``cycles`` once and charges
+    *every* context, so a per-context interval in ``cycles`` units is
+    precisely the number of context-cycles charged to it.
+
+    Invariant (asserted by tests): for every path, the leaf component
+    equals the service charged over the same interval, so summing
+    ``path_cycles`` grouped by leaf reproduces ``service_cycles``
+    exactly.
+    """
+
+    def __init__(self, stats: SimStats, n_contexts: int,
+                 threads_by_tid: dict) -> None:
+        self.stats = stats
+        self._threads = threads_by_tid
+        #: Context-cycles charged per ``;``-joined call path.
+        self.path_cycles: dict[str, int] = {}
+        self._cur = ["idle"] * n_contexts
+        self._start = [0] * n_contexts
+
+    def path_of(self, tid: int, service: str) -> str:
+        """The call path for *service* run by thread *tid* right now."""
+        thread = self._threads.get(tid)
+        if thread is None:
+            return service
+        return thread.service_path(service)
+
+    def switch(self, ctx: int, path: str) -> None:
+        """Settle the open interval of *ctx* and start charging *path*.
+
+        Idempotent when the path is unchanged, so alignment sweeps at
+        tier/leg boundaries cost one string compare per context.
+        """
+        cur = self._cur[ctx]
+        if path == cur:
+            return
+        cycles = self.stats.cycles
+        elapsed = cycles - self._start[ctx]
+        if elapsed:
+            pc = self.path_cycles
+            pc[cur] = pc.get(cur, 0) + elapsed
+        self._cur[ctx] = path
+        self._start[ctx] = cycles
+
+    def flush(self) -> None:
+        """Settle every context's open interval at the current cycle."""
+        cycles = self.stats.cycles
+        pc = self.path_cycles
+        start = self._start
+        for ctx, cur in enumerate(self._cur):
+            elapsed = cycles - start[ctx]
+            if elapsed:
+                pc[cur] = pc.get(cur, 0) + elapsed
+                start[ctx] = cycles
+
+    def snapshot(self) -> dict[str, int]:
+        """Settled ``{path: context_cycles}``, sorted (determinism)."""
+        self.flush()
+        return dict(sorted(self.path_cycles.items()))

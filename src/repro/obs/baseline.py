@@ -98,6 +98,16 @@ def _measure_sim(workload: str, instructions: int) -> dict:
     if isinstance(latency, dict):
         sim_section["probes"]["os.syscall_latency_cycles.p95"] = round(
             snapshot_percentile(latency, 0.95), 1)
+    # Call-path attribution totals (repro.obs.flame): deterministic
+    # context for the trajectory -- like all simulated values, reported
+    # but never gated.
+    attribution = sim.attrib.snapshot()
+    sim_section["attribution"] = {
+        "paths": len(attribution),
+        "nested_paths": sum(1 for p in attribution if ";" in p),
+        "nested_cycles": int(sum(
+            v for p, v in attribution.items() if ";" in p)),
+    }
     host = {"wall_s": round(wall, 3),
             "ips": round(retired / wall, 1) if wall > 0 else 0.0}
     rss = _max_rss_kb()

@@ -31,6 +31,7 @@ layers, so diffing two stored artifacts never re-simulates.
 
 from __future__ import annotations
 
+import re
 import statistics
 from dataclasses import dataclass, field
 
@@ -69,6 +70,25 @@ def flatten_window(window: dict) -> dict[str, float]:
     if cycles:
         flat["derived.ipc"] = retired / cycles
     return flat
+
+
+def compile_grep(pattern: str | None):
+    """Compile a ``--grep`` pattern, or None when no filtering is wanted.
+
+    The pattern is a Python regex matched with *unanchored*
+    :func:`re.search` -- the semantics shared by every ``--grep`` in the
+    CLI (``counters``, ``diff``, ``flame``).  A plain prefix like
+    ``mem.l2`` therefore still matches everything it used to (the dot
+    matches itself among other characters); anchor explicitly with
+    ``^``/``$`` to pin the match to a name boundary.  A malformed regex
+    raises ``ValueError`` with the original ``re.error`` message.
+    """
+    if not pattern:
+        return None
+    try:
+        return re.compile(pattern)
+    except re.error as exc:
+        raise ValueError(f"bad --grep pattern {pattern!r}: {exc}") from exc
 
 
 def _is_rate(name: str) -> bool:
@@ -112,14 +132,16 @@ def diff_flat(
     """Compare two flattened windows probe by probe, sorted by name.
 
     Probes present on only one side compare against 0 (they appeared or
-    vanished); probes that are 0 on both sides are dropped.  With
-    *bands* (probe name -> noise half-width), a delta inside the band is
-    kept but marked insignificant.
+    vanished); probes that are 0 on both sides are dropped.  *grep* is a
+    regex filter (see :func:`compile_grep`).  With *bands* (probe name ->
+    noise half-width), a delta inside the band is kept but marked
+    insignificant.
     """
     bands = bands or {}
+    pattern = compile_grep(grep)
     out = []
     for name in sorted(set(flat_a) | set(flat_b)):
-        if grep and not name.startswith(grep):
+        if pattern is not None and not pattern.search(name):
             continue
         a = flat_a.get(name, 0)
         b = flat_b.get(name, 0)

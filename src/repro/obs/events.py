@@ -30,6 +30,9 @@ TLB = "tlb"
 SYSCALL = "syscall"
 INTERRUPT = "interrupt"
 SCHED = "sched"
+#: Kernel memory-management incursions (page allocation, mmap/unmap,
+#: faults) posted by :class:`repro.os_model.vm.VMSystem`.
+VM = "vm"
 #: Run-engine lifecycle events (supervisor retries, timeouts, faults,
 #: quarantines); ``ts`` is a monotonically increasing step counter, not
 #: a simulation cycle, since the engine runs outside any simulation.

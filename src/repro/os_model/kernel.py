@@ -179,6 +179,10 @@ class MiniDUX:
         self.wait_queues: dict[str, deque[SoftwareThread]] = {}
         self.devices: list = []
         self.threads: list[SoftwareThread] = []
+        #: Every software thread (workload, daemon, idle, CPU pseudo-thread)
+        #: by tid -- the attribution layer resolves a running tid to its
+        #: open span stack through this map.
+        self.threads_by_tid: dict[int, SoftwareThread] = {}
         self._next_tid = 0
         self.marks: dict[tuple[str, str], int] = {}
         self.thread_phase: dict[str, str] = {}
@@ -221,6 +225,7 @@ class MiniDUX:
                    lambda: self.scheduler.asn_recycles)
         #: Optional EventBus (see repro.obs.events); None = no events.
         self.events = None
+        self.vm.on_incursion = self._vm_incursion
         #: Core-registered listeners called with (ctx,) on context switch.
         self.switch_listeners: list[Callable[[int], None]] = []
         #: Wired by the network layer: called with each transmitted packet.
@@ -310,6 +315,7 @@ class MiniDUX:
     def _make_cpu_thread(self, ctx: int) -> SoftwareThread:
         thread = SoftwareThread(900 + ctx, f"cpu{ctx}", self.kernel_as)
         self._attach_kernel_walkers(thread)
+        self.threads_by_tid[thread.tid] = thread
         return thread
 
     # -- thread creation -------------------------------------------------------
@@ -333,6 +339,7 @@ class MiniDUX:
         self._attach_kernel_walkers(thread)
         thread.behavior = behavior_factory(thread)
         self.threads.append(thread)
+        self.threads_by_tid[tid] = thread
         self.scheduler.make_ready(thread)
         return thread
 
@@ -343,6 +350,7 @@ class MiniDUX:
         self._attach_kernel_walkers(thread)
         thread.behavior = behavior
         self.threads.append(thread)
+        self.threads_by_tid[tid] = thread
         return thread
 
     def start_thread(self, thread: SoftwareThread) -> None:
@@ -401,6 +409,14 @@ class MiniDUX:
             out[f"{name}.cycles"] = cycles
         return out
 
+    def _vm_incursion(self, kind: str) -> None:
+        """VMSystem observer: post each MM-code entry as an instant event
+        (the frame-level span already covers the allocation *cycles*; the
+        instant records the incursion *type* for Figure-3-style drill-down)."""
+        if self.events is not None:
+            svc = "vm:page_alloc" if kind == "page_allocation" else f"vm:{kind}"
+            self.events.emit(self.now, "vm", kind, service=svc)
+
     def _lock_probe_map(self) -> dict:
         """Per-lock probe family: ``os.lock.<name>.{acquisitions,contentions}``."""
         out = {}
@@ -409,6 +425,32 @@ class MiniDUX:
         for name, n in self.locks.contentions.items():
             out[f"{name}.contentions"] = n
         return out
+
+    # -- call-path spans ---------------------------------------------------------
+
+    def _span_begin(self, thread: SoftwareThread, kind: str, name: str,
+                    label: str, ctx: int | None = None) -> None:
+        """Open a nested service span on *thread* and emit its B event.
+
+        The span stack (:meth:`SoftwareThread.span_push`) is what the
+        cycle-attribution layer folds into call paths; the B/E event pair
+        is the same structure on the trace timeline.  Spans follow the
+        frame-stack discipline -- whoever pushes handler frames opens the
+        span first and closes it from the final frame's completion hook,
+        so nesting can never cross.
+        """
+        thread.span_push(label)
+        if self.events is not None:
+            self.events.emit(self.now, kind, name, "B", ctx=ctx,
+                             tid=thread.tid, service=label)
+
+    def _span_end(self, thread: SoftwareThread, kind: str, name: str,
+                  label: str, ctx: int | None = None) -> None:
+        """Emit the matching E event and close the innermost span."""
+        if self.events is not None:
+            self.events.emit(self.now, kind, name, "E", ctx=ctx,
+                             tid=thread.tid, service=label)
+        thread.span_pop(label)
 
     # -- cost helper -------------------------------------------------------------
 
@@ -466,9 +508,7 @@ class MiniDUX:
         dispatched_at = self.now
         full = self.mode is OSMode.FULL
         svc = f"syscall:{spec.name}"
-        if self.events is not None:
-            self.events.emit(dispatched_at, "syscall", spec.name, "B",
-                             tid=thread.tid, service=svc)
+        self._span_begin(thread, "syscall", spec.name, svc)
         frames: list[Frame] = []
 
         if full:
@@ -547,9 +587,7 @@ class MiniDUX:
             record[0] += 1
             record[1] += latency
             self.syscall_hist.observe(latency)
-            if self.events is not None:
-                self.events.emit(self.now, "syscall", name, "E",
-                                 tid=thread.tid, service=f"syscall:{name}")
+            self._span_end(thread, "syscall", name, f"syscall:{name}")
             if on_done is not None:
                 on_done()
 
@@ -595,14 +633,15 @@ class MiniDUX:
         "traps complete instantly with no effect on hardware state").
         """
         self.counters["dtlb_miss_events"] += 1
-        if self.events is not None:
-            self.events.emit(self.now, "tlb", "dtlb_refill", tid=thread.tid,
-                             service="tlb:refill")
         kind = mode_kind(instr.mode)
         if self.mode is not OSMode.FULL or thread.trap_depth >= 1:
             # Application-only mode, or a miss taken *inside* a refill
             # handler: the Alpha handles nested TLB misses entirely in PAL
-            # (physically addressed), so the fill is immediate.
+            # (physically addressed), so the fill is immediate -- an
+            # instant event, not a span, since no handler cycles follow.
+            if self.events is not None:
+                self.events.emit(self.now, "tlb", "dtlb_refill",
+                                 tid=thread.tid, service="tlb:refill")
             self.hierarchy.dtlb.fill(vpn, asn, thread.tid, kind)
             if self.vm.needs_allocation(thread.process.pid, instr.addr):
                 if self.vm.allocate(thread.process.pid, instr.addr):
@@ -641,32 +680,36 @@ class MiniDUX:
             self.hierarchy.dtlb.fill(vpn, asn, thread.tid, kind)
             instr.tlb_done = True
             thread.trap_depth -= 1
+            self._span_end(thread, "tlb", "dtlb_refill", "tlb:refill")
             thread.pending.append(instr)
 
         frames.append(Frame(thread.pal_walker, self._cost(8, 1), "pal:rti",
                             "rti", on_complete=finish,
                             transfer=InstrType.PAL_RETURN))
         thread.trap_depth += 1
+        self._span_begin(thread, "tlb", "dtlb_refill", "tlb:refill")
         thread.push_frames(frames)
         return True
 
     def handle_itlb_miss(self, thread: SoftwareThread, instr, vpn: int, asn: int) -> bool:
         """Splice the (PAL-only) ITLB refill; True when *instr* was deferred."""
         self.counters["itlb_miss_events"] += 1
-        if self.events is not None:
-            self.events.emit(self.now, "tlb", "itlb_refill", tid=thread.tid,
-                             service="tlb:refill")
         kind = mode_kind(instr.mode)
         if self.mode is not OSMode.FULL or thread.trap_depth >= 1:
+            if self.events is not None:
+                self.events.emit(self.now, "tlb", "itlb_refill",
+                                 tid=thread.tid, service="tlb:refill")
             self.hierarchy.itlb.fill(vpn, asn, thread.tid, kind)
             return False
 
         def finish(instr=instr):
             self.hierarchy.itlb.fill(vpn, asn, thread.tid, kind)
             thread.trap_depth -= 1
+            self._span_end(thread, "tlb", "itlb_refill", "tlb:refill")
             thread.pending.append(instr)
 
         thread.trap_depth += 1
+        self._span_begin(thread, "tlb", "itlb_refill", "tlb:refill")
         thread.push_frames([
             Frame(thread.pal_walker, self._cost(22, 4), "pal:itlb", "itlb",
                   on_complete=finish, transfer=InstrType.PAL_CALL),
@@ -691,16 +734,19 @@ class MiniDUX:
         cpu = self.cpu_threads[ctx]
         if len(cpu.frames) > 24:
             return False
-        if self.events is not None:
-            self.events.emit(self.now, "interrupt", request.label, ctx=ctx,
-                             tid=cpu.tid)
+        label = request.label
+
+        def intr_return(label=label, ctx=ctx):
+            self._span_end(cpu, "interrupt", label, label, ctx=ctx)
+
+        self._span_begin(cpu, "interrupt", label, label, ctx=ctx)
         cpu.push_frames([
             Frame(cpu.pal_walker, self._cost(14, 3), "pal:intr", "intr",
                   transfer=InstrType.PAL_CALL),
             Frame(cpu.kernel_walker, self._cost(request.cost, request.cost * 0.25),
-                  request.label, "intr", on_complete=request.effect),
+                  label, "intr", on_complete=request.effect),
             Frame(cpu.pal_walker, self._cost(8, 1), "pal:rti", "rti",
-                  transfer=InstrType.PAL_RETURN),
+                  on_complete=intr_return, transfer=InstrType.PAL_RETURN),
         ])
         return True
 
@@ -760,9 +806,6 @@ class MiniDUX:
     # -- context switching --------------------------------------------------------
 
     def _on_switch(self, ctx: int, old: SoftwareThread | None, new: SoftwareThread) -> None:
-        if self.events is not None:
-            self.events.emit(self.now, "sched", f"dispatch:{new.name}",
-                             ctx=ctx, tid=new.tid)
         if self.tlb_flush_on_switch and old is not None and old.process is not new.process:
             self.hierarchy.dtlb.flush_all()
             self.hierarchy.itlb.flush_all()
@@ -772,12 +815,23 @@ class MiniDUX:
                 new.user_walker.asn = new.process.asn
         if self.mode is OSMode.FULL:
             cpu = self.cpu_threads[ctx]
+            name = f"dispatch:{new.name}"
+
+            def switch_done(name=name, ctx=ctx):
+                self._span_end(cpu, "sched", name, "sched", ctx=ctx)
+
+            self._span_begin(cpu, "sched", name, "sched", ctx=ctx)
             cpu.push_frames([
                 Frame(cpu.kernel_walker, self._cost(300, 60), "sched", "sched",
                       lock="runq"),
                 Frame(cpu.pal_walker, self._cost(14, 3), "pal:swpctx", "swpctx",
-                      transfer=InstrType.PAL_CALL),
+                      on_complete=switch_done, transfer=InstrType.PAL_CALL),
             ])
+        elif self.events is not None:
+            # APP_ONLY dispatch is instantaneous (no frames), so the event
+            # stays an instant rather than a zero-width span.
+            self.events.emit(self.now, "sched", f"dispatch:{new.name}",
+                             ctx=ctx, tid=new.tid)
         for listener in self.switch_listeners:
             listener(ctx)
 

@@ -129,6 +129,23 @@ class ContextStream:
         fr = thread.current_frame
         return fr.service if fr is not None else "user"
 
+    @property
+    def current_attrib(self) -> tuple[str, str]:
+        """``(service, call_path)`` for cycle attribution -- the same label
+        :attr:`current_service` returns plus the owning thread's open span
+        chain with that label as the leaf (see
+        :meth:`~repro.os_model.thread.SoftwareThread.service_path`)."""
+        if self.cpu.frames:
+            fr = self.cpu.frames[-1]
+            return fr.service, self.cpu.service_path(fr.service)
+        thread = self.os.scheduler.current[self.ctx]
+        if thread is None:
+            return "idle", "idle"
+        fr = thread.current_frame
+        if fr is None:
+            return "user", thread.service_path("user")
+        return fr.service, thread.service_path(fr.service)
+
     # -- thread stepping ------------------------------------------------------
 
     def _thread_next(self, thread: SoftwareThread, now: int) -> Instruction | None:

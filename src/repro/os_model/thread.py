@@ -170,6 +170,51 @@ class SoftwareThread:
         #: Cycle until which the thread is halted (WTINT-style wait used by
         #: the idle loop so an idle context does not burn fetch bandwidth).
         self.halt_until = 0
+        #: Open kernel-service span labels, innermost last (mirrors the
+        #: frame-stack discipline: a span opened by a nested handler always
+        #: closes before its parent's).  ``span_paths`` keeps the matching
+        #: ``;``-joined prefix path per open span so attribution never
+        #: rebuilds a join in the hot path.
+        self.spans: list[str] = []
+        self.span_paths: list[str] = []
+        self._path_cache: dict[str, str] = {}
+
+    # -- call-path spans -----------------------------------------------------
+
+    def span_push(self, label: str) -> None:
+        """Open a nested service span (syscall, TLB refill, interrupt...)."""
+        paths = self.span_paths
+        parent = paths[-1] if paths else ""
+        paths.append(parent + ";" + label if parent else label)
+        self.spans.append(label)
+        self._path_cache.clear()
+
+    def span_pop(self, label: str) -> None:
+        """Close the innermost span if it matches *label* (defensive: a
+        mismatched pop -- e.g. a span whose closer never ran because the
+        thread exited -- is ignored rather than corrupting the stack)."""
+        if self.spans and self.spans[-1] == label:
+            self.spans.pop()
+            self.span_paths.pop()
+            self._path_cache.clear()
+
+    def service_path(self, service: str) -> str:
+        """The call path charged when this thread runs *service*: the open
+        span chain with *service* as the leaf (the leaf always equals the
+        service label, which is what makes per-path cycle totals reconcile
+        exactly with the flat per-service cycle counters)."""
+        cache = self._path_cache
+        path = cache.get(service)
+        if path is None:
+            paths = self.span_paths
+            if not paths:
+                path = service
+            elif self.spans[-1] == service:
+                path = paths[-1]
+            else:
+                path = paths[-1] + ";" + service
+            cache[service] = path
+        return path
 
     # -- frame stack ---------------------------------------------------------
 

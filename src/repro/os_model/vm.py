@@ -15,6 +15,7 @@ SPECInt.
 from __future__ import annotations
 
 import random
+from typing import Callable
 
 from repro.isa.data import PAGE_SHIFT
 from repro.os_model.address_space import is_kernel_address
@@ -40,6 +41,10 @@ class VMSystem:
         self._allocated: set[tuple[int, int]] = set()
         self.incursions: dict[str, int] = {t: 0 for t in self.INCURSION_TYPES}
         self.pages_allocated = 0
+        #: Observer called with the incursion kind on every MM-code entry;
+        #: the kernel wires this to the event bus (``vm`` events on the
+        #: trace timeline).  None = unobserved, zero cost.
+        self.on_incursion: Callable[[str], None] | None = None
 
     def needs_allocation(self, pid: int, addr: int) -> bool:
         """True when *addr* belongs to a never-touched user page.
@@ -58,6 +63,8 @@ class VMSystem:
         self._allocated.add((pid, addr >> PAGE_SHIFT))
         self.incursions[kind] += 1
         self.pages_allocated += 1
+        if self.on_incursion is not None:
+            self.on_incursion(kind)
         return self.rng.random() < self.icache_flush_prob
 
     def record_incursion(self, kind: str) -> None:
@@ -65,6 +72,8 @@ class VMSystem:
         if kind not in self.incursions:
             raise ValueError(f"unknown MM incursion type {kind!r}")
         self.incursions[kind] += 1
+        if self.on_incursion is not None:
+            self.on_incursion(kind)
 
     def release_range(self, pid: int, base: int, n_pages: int) -> int:
         """munmap: forget allocations so re-maps re-fault (region reuse)."""
@@ -75,6 +84,8 @@ class VMSystem:
                 self._allocated.discard((pid, vpn))
                 released += 1
         self.incursions["mmap_unmap"] += 1
+        if self.on_incursion is not None:
+            self.on_incursion("mmap_unmap")
         return released
 
     @property
