@@ -38,7 +38,10 @@ from dataclasses import dataclass, field
 #: extrapolated probe estimates with error bars, checkpoint provenance).
 #: v6: counter windows carry a call-path ``attribution`` section
 #: (``;``-joined span chain -> context-cycles; see repro.obs.flame).
-SCHEMA_VERSION = 6
+#: v7: artifacts carry a ``probe_timeline`` record (delta-encoded
+#: per-interval probe columns; see repro.obs.timeline) and the
+#: ``timeline_truncated`` flag when its sample cap was hit.
+SCHEMA_VERSION = 7
 
 #: Coarse code-version tag folded into every fingerprint.  Bump when the
 #: *simulator's* behavior changes (new counters, different scheduling,
@@ -87,6 +90,14 @@ class RunArtifact:
     tiered run's leg plan, extrapolated probe estimates, and checkpoint
     provenance; plain detailed runs carry ``mode="full"`` and no
     sampling record.
+
+    Two distinct time series live on an artifact.  ``timeline`` (alias
+    :attr:`class_timeline`) is the coarse *mode-class* series behind
+    Figures 1/5 -- per-sample user/kernel/pal/idle context-cycle splits.
+    ``probe_timeline`` is the v7 *interval probe* record: delta-encoded
+    columns of headline probes captured every N simulated cycles by
+    :mod:`repro.obs.timeline` (``repro timeline`` renders it).  ``None``
+    when interval telemetry was disabled for the run.
     """
 
     spec: dict
@@ -100,6 +111,7 @@ class RunArtifact:
     flags: list = field(default_factory=list)
     mode: str = "full"
     sampling: dict | None = None
+    probe_timeline: dict | None = None
     schema_version: int = SCHEMA_VERSION
     fingerprint: str = field(default="")
 
@@ -113,6 +125,8 @@ class RunArtifact:
         self.flags = _plain(self.flags)
         if self.sampling is not None:
             self.sampling = _plain(self.sampling)
+        if self.probe_timeline is not None:
+            self.probe_timeline = _plain(self.probe_timeline)
         if not self.fingerprint:
             self.fingerprint = run_fingerprint(self.spec)
 
@@ -131,6 +145,15 @@ class RunArtifact:
         return "-".join(parts) or "run"
 
     # -- derived views -----------------------------------------------------
+
+    @property
+    def class_timeline(self) -> list:
+        """The mode-class time series (Figures 1/5 data).
+
+        Explicit alias for :attr:`timeline`, named to disambiguate it from
+        the per-interval probe record in :attr:`probe_timeline`.
+        """
+        return self.timeline
 
     @property
     def steady_boundary(self) -> int | None:
@@ -161,6 +184,7 @@ class RunArtifact:
             "flags": self.flags,
             "mode": self.mode,
             "sampling": self.sampling,
+            "probe_timeline": self.probe_timeline,
         }
 
     @classmethod
@@ -184,6 +208,7 @@ class RunArtifact:
                 flags=payload.get("flags") or [],
                 mode=payload.get("mode") or "full",
                 sampling=payload.get("sampling"),
+                probe_timeline=payload.get("probe_timeline"),
                 schema_version=version,
                 fingerprint=payload["fingerprint"],
             )

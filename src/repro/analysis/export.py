@@ -12,6 +12,11 @@ across runs:
     rec = get_run("apache", "smt", "full")
     window_to_json(rec.steady, "apache_steady.json")
     timeline_to_csv(rec, "apache_timeline.csv")
+
+Two timeline exporters exist because artifacts carry two time series:
+:func:`timeline_to_csv` writes the coarse mode-class share series behind
+Figures 1/5, while :func:`probe_timeline_to_csv` writes the v7 interval
+probe record captured by :mod:`repro.obs.timeline`.
 """
 
 from __future__ import annotations
@@ -84,13 +89,44 @@ def record_to_json(record: RunArtifact, path) -> pathlib.Path:
 
 
 def timeline_to_csv(record: RunArtifact, path) -> pathlib.Path:
-    """Write the run's mode-class timeline (Figures 1/5 data) as CSV."""
+    """Write the run's *mode-class* timeline (Figures 1/5 data) as CSV.
+
+    This is the coarse user/kernel/pal/idle share series
+    (``RunArtifact.class_timeline``), not the per-interval probe record;
+    for the latter use :func:`probe_timeline_to_csv`.
+    """
     path = pathlib.Path(path)
     with path.open("w", newline="") as f:
         writer = csv.writer(f)
         writer.writerow(["cycle"] + list(CLASS_NAMES))
         for cycle, shares in record.timeline:
             writer.writerow([cycle] + [f"{s:.6f}" for s in shares])
+    return path
+
+
+def probe_timeline_to_csv(record, path) -> pathlib.Path:
+    """Write the *interval probe* timeline as CSV (one row per sample).
+
+    ``record`` is a :class:`RunArtifact` or a raw probe-timeline record
+    dict (see :func:`repro.obs.timeline.timeline_record`).  Rows carry the
+    end-of-interval cycle stamp plus the raw per-interval delta for every
+    column, in sorted column order.  Raises :class:`ValueError` when the
+    run carries no probe timeline (pre-v7 artifact or telemetry disabled).
+    """
+    from repro.obs.timeline import sample_cycles, timeline_record
+
+    rec = timeline_record(record) if isinstance(record, RunArtifact) else record
+    if not rec or not rec.get("columns"):
+        raise ValueError("run has no probe timeline "
+                         "(telemetry disabled or pre-v7 artifact)")
+    names = sorted(rec["columns"])
+    cycles = sample_cycles(rec)
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["cycle"] + names)
+        for i, cycle in enumerate(cycles):
+            writer.writerow([cycle] + [rec["columns"][n][i] for n in names])
     return path
 
 

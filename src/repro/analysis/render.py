@@ -87,6 +87,36 @@ def format_timeline(title: str, samples: list[tuple[int, tuple[float, ...]]],
     return "\n".join(out)
 
 
+#: Eight block glyphs from lowest to highest; index = value octile.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 64) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Series longer than *width* are resampled by bucket means so the line
+    still spans the full series; shorter ones map one glyph per value.
+    A flat series renders at the lowest glyph.
+    """
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if len(points) > width:
+        resampled = []
+        for b in range(width):
+            lo = b * len(points) // width
+            hi = max(lo + 1, (b + 1) * len(points) // width)
+            bucket = points[lo:hi]
+            resampled.append(sum(bucket) / len(bucket))
+        points = resampled
+    low, high = min(points), max(points)
+    span = high - low
+    if span <= 0:
+        return SPARK_GLYPHS[0] * len(points)
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(SPARK_GLYPHS[round((v - low) / span * top)] for v in points)
+
+
 def pct(x: float) -> float:
     """Fraction -> percentage."""
     return x * 100.0

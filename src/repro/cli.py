@@ -523,7 +523,15 @@ def _resolve_run_arg(text: str, instructions, seed):
 def _cmd_diff(args) -> int:
     from repro.obs.diff import diff_artifacts, diff_runs
     from repro.obs.flame import diff_flame_artifacts, diff_flame_runs
+    from repro.obs.timeline import (diff_timeline_artifacts,
+                                    diff_timeline_runs, timeline_record)
 
+    if args.timeline and args.flame:
+        raise SystemExit("--timeline and --flame are mutually exclusive")
+    if args.timeline and args.per_kilo:
+        raise SystemExit(
+            "--per-kilo does not apply to --timeline: timeline entries "
+            "are already rates (shares and per-interval IPC)")
     if args.grep:
         _compile_grep_or_exit(args.grep)
     if args.seeds > 1:
@@ -542,17 +550,30 @@ def _cmd_diff(args) -> int:
                     "os_mode": parts[2], "instructions": args.instructions,
                     "seed": args.seed}
 
-        fn = diff_flame_runs if args.flame else diff_runs
-        report = fn(_side(args.run_a), _side(args.run_b),
-                    window=args.window, grep=args.grep,
-                    seeds=args.seeds, per_kilo=args.per_kilo,
-                    max_workers=args.workers)
+        if args.timeline:
+            report = diff_timeline_runs(
+                _side(args.run_a), _side(args.run_b), grep=args.grep,
+                seeds=args.seeds, max_workers=args.workers)
+        else:
+            fn = diff_flame_runs if args.flame else diff_runs
+            report = fn(_side(args.run_a), _side(args.run_b),
+                        window=args.window, grep=args.grep,
+                        seeds=args.seeds, per_kilo=args.per_kilo,
+                        max_workers=args.workers)
     else:
         art_a = _resolve_run_arg(args.run_a, args.instructions, args.seed)
         art_b = _resolve_run_arg(args.run_b, args.instructions, args.seed)
-        fn = diff_flame_artifacts if args.flame else diff_artifacts
-        report = fn(art_a, art_b, window=args.window,
-                    grep=args.grep, per_kilo=args.per_kilo)
+        if args.timeline:
+            report = diff_timeline_artifacts(art_a, art_b, grep=args.grep)
+            if not report.deltas:
+                for art in (art_a, art_b):
+                    if timeline_record(art) is None:
+                        print(f"note: {art.label} carries no probe timeline "
+                              "(pre-v7 artifact or telemetry disabled)")
+        else:
+            fn = diff_flame_artifacts if args.flame else diff_artifacts
+            report = fn(art_a, art_b, window=args.window,
+                        grep=args.grep, per_kilo=args.per_kilo)
     if args.json:
         import json as _json
 
@@ -609,6 +630,86 @@ def _cmd_flame(args) -> int:
     if dropped:
         print(f"warning: event ring dropped {dropped} event(s) during this "
               "run; span-derived paths may be truncated")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    """``repro timeline``: render a stored run's interval probe series.
+
+    One sparkline row per derived headline series (interval IPC,
+    kernel-cycle share, miss rates, ...), detected phase boundaries, and
+    optional CSV/JSON exports of the raw record.
+    """
+    import json as _json
+
+    from repro.analysis.export import probe_timeline_to_csv
+    from repro.analysis.render import sparkline
+    from repro.obs import timeline as tl
+
+    if args.grep:
+        _compile_grep_or_exit(args.grep)
+    rec = _resolve_run_arg(args.run, args.instructions, args.seed)
+    record = tl.timeline_record(rec)
+    if record is None:
+        print(f"{rec.label} carries no probe timeline "
+              "(pre-v7 artifact or telemetry disabled; re-run to refresh)")
+        return 1
+    if args.csv:
+        _guard_overwrite(args.csv, args.force)
+        probe_timeline_to_csv(record, args.csv)
+        print(f"wrote {args.csv} ({record['samples']} sample(s), "
+              f"{len(record['columns'])} column(s))")
+    if args.json:
+        _guard_overwrite(args.json, args.force)
+        payload = {"label": rec.label, "fingerprint": rec.fingerprint,
+                   "record": record,
+                   "phases": tl.detect_phases(record)}
+        with open(args.json, "w") as f:
+            _json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+
+    series = dict(tl.derived_series(record))
+    series.update(tl.service_share_series(record))
+    if args.probe:
+        missing = [p for p in args.probe if p not in series]
+        if missing:
+            raise SystemExit(
+                f"unknown timeline series {missing}; "
+                f"available: {', '.join(sorted(series))}")
+        series = {name: series[name] for name in args.probe}
+    series = tl.filter_series(series, args.grep)
+    if not series:
+        print(f"no timeline series match regex {args.grep!r}")
+        return 1
+
+    interval = record["interval"]
+    span = record["samples"] * interval
+    print(f"{rec.label} ({rec.fingerprint[:12]})  "
+          f"{record['samples']} sample(s) x {interval:,} cycles "
+          f"= {span:,} cycles")
+    label_w = max(len(name) for name in series)
+    for name in sorted(series):
+        values = series[name]
+        line = sparkline(values, width=args.width)
+        lo, hi = min(values), max(values)
+        print(f"{name.ljust(label_w)}  {line}  "
+              f"min {lo:.3f}  max {hi:.3f}  last {values[-1]:.3f}")
+    phases = tl.detect_phases(record)
+    if phases:
+        print()
+        for b in phases:
+            print(f"phase @ cycle {b['cycle']:,}: {b['metric']} "
+                  f"{b['before']:.3f} -> {b['after']:.3f}")
+        warmup = tl.suggest_warmup(record)
+        if warmup is not None:
+            print(f"suggested sampled-mode warm-up: {warmup:,} instructions "
+                  "(first phase boundary)")
+    if record["dropped"]:
+        print(f"warning: sample cap hit; the last {record['dropped']} "
+              "interval(s) were not recorded and the series is truncated "
+              "(raise max_samples via Simulation.configure_timeline, or "
+              "widen the interval)")
     return 0
 
 
@@ -921,6 +1022,10 @@ def main(argv=None) -> int:
                         help="diff call-path attribution tables instead of "
                              "flat probes: ranked ;-joined span-chain "
                              "movers with the same noise bands")
+    p_diff.add_argument("--timeline", action="store_true",
+                        help="diff interval probe timelines instead of "
+                             "flat probes: ranked series@cycle movers over "
+                             "the shared sample prefix, same noise bands")
     p_diff.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run each side under N consecutive seeds and "
                              "filter deltas inside the noise band")
@@ -971,6 +1076,31 @@ def main(argv=None) -> int:
     p_flame.add_argument("--force", action="store_true",
                          help="overwrite existing --out/--json files")
     p_flame.set_defaults(func=_cmd_flame)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="render a stored run's per-interval probe time series")
+    p_tl.add_argument("run", metavar="run",
+                      help="workload-cpu-os_mode label or artifact .json")
+    p_tl.add_argument("--probe", action="append", default=None,
+                      metavar="SERIES",
+                      help="show only this series (repeatable; exact names "
+                           "like ipc, kernel_share, miss.l1d, svc.<leaf>)")
+    p_tl.add_argument("--grep", default=None, metavar="REGEX",
+                      help="only series matching REGEX (unanchored search)")
+    p_tl.add_argument("--csv", default=None, metavar="FILE",
+                      help="write the raw delta columns as CSV")
+    p_tl.add_argument("--json", default=None, metavar="FILE",
+                      help="write the record plus detected phases as JSON")
+    p_tl.add_argument("--width", type=int, default=64,
+                      help="sparkline width in glyphs (default 64)")
+    p_tl.add_argument("--instructions", type=int, default=None,
+                      help="instruction budget for label-resolved runs")
+    p_tl.add_argument("--seed", type=int, default=11,
+                      help="seed for label-resolved runs")
+    p_tl.add_argument("--force", action="store_true",
+                      help="overwrite existing --csv/--json files")
+    p_tl.set_defaults(func=_cmd_timeline)
 
     p_bench = sub.add_parser(
         "bench",

@@ -29,7 +29,9 @@ from repro.core.engine import FF_STRIDE_DEFAULT, Leg, run_plan
 
 #: Bump when the checkpoint payload layout or digest inputs change;
 #: restore refuses mismatched schemas (the store treats them as stale).
-CHECKPOINT_SCHEMA = 1
+#: v2: the probes digest excludes ``core.timeline.*`` so telemetry
+#: options (repro.obs.timeline) never invalidate a checkpoint.
+CHECKPOINT_SCHEMA = 2
 
 
 class CheckpointError(RuntimeError):
@@ -44,6 +46,12 @@ def state_digests(sim) -> dict:
     drift: ``probes`` (the full counter tree), ``kernel`` (scheduler,
     threads, wait queues, RNG states), ``memory`` (cache and TLB
     contents in LRU order).
+
+    The ``core.timeline.*`` counters are excluded from the probes
+    digest: they mirror the interval telemetry sampler's progress
+    (:mod:`repro.obs.timeline`), which is an execution option --
+    a checkpoint saved under one telemetry config must verify-restore
+    under any other, just as telemetry never enters run fingerprints.
     """
     from repro.analysis.artifact import canonical_json
     from repro.analysis.snapshot import capture
@@ -51,8 +59,10 @@ def state_digests(sim) -> dict:
     def sha(payload) -> str:
         return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
+    probes = {k: v for k, v in capture(sim)["probes"].items()
+              if not k.startswith("core.timeline.")}
     return {
-        "probes": sha(capture(sim)["probes"]),
+        "probes": sha(probes),
         "kernel": sha(sim.os.state_summary()),
         "memory": sha(sim.hierarchy.content_state()),
     }

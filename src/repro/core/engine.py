@@ -174,6 +174,12 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
     heartbeat = sim.heartbeat
     beat = heartbeat.beat if heartbeat is not None else None
     hb_mask = heartbeat.mask if heartbeat is not None else 0
+    # Interval telemetry: same mask test as the detailed loop, and jump
+    # blocks clip at sample boundaries (like the OS-tick and heartbeat
+    # clips), so samples land on exactly the same cycles in both tiers.
+    timeline = sim.probe_timeline
+    tl_tick = timeline.tick if timeline is not None else None
+    tl_mask = timeline.mask if timeline is not None else (1 << 62) - 1
     attrib = sim.attrib
     # Interval attribution, detailed-tier style: a stream's call path is
     # re-derived only when its charged service changes (current_attrib
@@ -207,6 +213,10 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
                 hb_room = hb_mask + 1 - (now & hb_mask)
                 if jump > hb_room:
                     jump = hb_room
+            if tl_tick is not None:
+                tl_room = tl_mask + 1 - (now & tl_mask)
+                if jump > tl_room:
+                    jump = tl_room
             if attrib is None:
                 charge_n([s.current_service for s in streams], jump)
             else:
@@ -228,6 +238,8 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
                 debt[i] -= pay
             tier.fast_cycles += jump
             now += jump
+            if tl_tick is not None and now & tl_mask == 0:
+                tl_tick(now)
             if beat is not None and now & hb_mask == 0:
                 beat(now, stats)
             continue
@@ -301,6 +313,8 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
         tier.fast_materialized += materialized
         tier.fast_cycles += 1
         now += 1
+        if tl_tick is not None and now & tl_mask == 0:
+            tl_tick(now)
         if beat is not None and now & hb_mask == 0:
             beat(now, stats)
     sim._now = now

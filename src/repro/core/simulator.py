@@ -172,6 +172,23 @@ class Simulation:
         # fast-forward / sampling / checkpointing is used).
         self.tier = TierStats()
         self.tier.register_probes(self.obs)
+        # Interval probe telemetry (repro.obs.timeline): snapshots the
+        # headline probe subset every 2^k cycles in both tiers.  Default
+        # -on like attribution -- pure observation, no RNG draws, no
+        # timing effects -- and reconfigured post-construction
+        # (configure_timeline), so, like the heartbeat and watchdog, it
+        # never enters the fingerprint.
+        from repro.obs.timeline import ProbeTimeline
+
+        self.probe_timeline = ProbeTimeline(self)
+        self.obs.derive(
+            "core.timeline.samples",
+            lambda: (self.probe_timeline.samples
+                     if self.probe_timeline is not None else 0))
+        self.obs.derive(
+            "core.timeline.dropped",
+            lambda: (self.probe_timeline.dropped
+                     if self.probe_timeline is not None else 0))
         # Fast-forward I-line tracking and width-debt carry, one entry
         # per hardware context (the fast engine's analogues of the
         # pipeline's ctx.last_line and of slot occupancy).
@@ -209,8 +226,12 @@ class Simulation:
         *heartbeat* is a :class:`~repro.obs.live.Heartbeat`; until one is
         attached (the default) the run loop carries no per-cycle check at
         all, and with one attached the cost is a single mask test per
-        cycle plus one sample every ``heartbeat.interval`` cycles.
+        cycle plus one sample every ``heartbeat.interval`` cycles.  The
+        heartbeat also gets a handle on the interval telemetry sampler,
+        so progress lines show the latest interval's simulated IPC and
+        kernel-cycle share alongside host rates.
         """
+        heartbeat.timeline = self.probe_timeline
         self.heartbeat = heartbeat
 
     def attach_watchdog(self, stall_cycles: int) -> None:
@@ -227,6 +248,39 @@ class Simulation:
             raise ValueError(
                 f"watchdog stall_cycles must be >= 1, got {stall_cycles}")
         self.watchdog_cycles = stall_cycles
+
+    def configure_timeline(self, interval: int | None = None,
+                           probes: tuple | None = None,
+                           max_samples: int | None = None,
+                           enabled: bool = True):
+        """Replace the interval telemetry sampler (see repro.obs.timeline).
+
+        Call before running.  A telemetry option, not a config knob: two
+        runs differing only here follow byte-identical trajectories and
+        share a fingerprint/store key -- only the artifact's
+        ``probe_timeline`` record and the ``core.timeline.*`` probes
+        differ.  Checkpoint state digests exclude those probes
+        (:func:`repro.core.checkpoint.state_digests`), so a checkpoint
+        saved under one telemetry config verify-restores under any
+        other.  ``enabled=False`` removes the sampler entirely,
+        restoring the pre-v7 artifact content.
+        """
+        if not enabled:
+            self.probe_timeline = None
+        else:
+            from repro.obs.timeline import ProbeTimeline
+
+            kwargs = {}
+            if interval is not None:
+                kwargs["interval"] = interval
+            if probes is not None:
+                kwargs["probes"] = probes
+            if max_samples is not None:
+                kwargs["max_samples"] = max_samples
+            self.probe_timeline = ProbeTimeline(self, **kwargs)
+        if self.heartbeat is not None:
+            self.heartbeat.timeline = self.probe_timeline
+        return self.probe_timeline
 
     def run(
         self,
@@ -276,6 +330,12 @@ class Simulation:
         now = self._now
         limit_cycles = max_cycles if max_cycles is not None else (1 << 62)
         heartbeat = self.heartbeat
+        # Interval telemetry: one mask test per cycle, like the heartbeat.
+        # With the sampler detached the mask is a huge power of two the
+        # post-increment `now` can never divide, so the branch never takes.
+        timeline = self.probe_timeline
+        tl_tick = timeline.tick if timeline is not None else None
+        tl_mask = timeline.mask if timeline is not None else (1 << 62) - 1
         # Align attribution with the detailed tier's charging view: the
         # pipeline charges ctx.current_service until the next _admit, so
         # any fast-leg cycles still open are settled to the fast path and
@@ -295,6 +355,8 @@ class Simulation:
                 with cycle_scope:
                     cycle(now)
                 now += 1
+                if now & tl_mask == 0:
+                    tl_tick(now)
         elif heartbeat is not None:
             beat = heartbeat.beat
             hb_mask = heartbeat.mask
@@ -303,6 +365,8 @@ class Simulation:
                     os_tick(now)
                 cycle(now)
                 now += 1
+                if now & tl_mask == 0:
+                    tl_tick(now)
                 if now & hb_mask == 0:
                     beat(now, stats)
         else:
@@ -311,6 +375,8 @@ class Simulation:
                     os_tick(now)
                 cycle(now)
                 now += 1
+                if now & tl_mask == 0:
+                    tl_tick(now)
         self._now = now
         return self._result()
 
@@ -351,9 +417,11 @@ class Simulation:
         identifying labels (workload/cpu/os_mode names, instruction
         budget) on top of the full config fingerprint in ``self.params``;
         ``flags`` marks degraded provenance (e.g. ``["truncated"]`` when
-        a max-cycle budget cut the run short).  ``mode`` and ``sampling``
-        record the execution tier and its leg plan / extrapolation /
-        checkpoint provenance for tiered runs.
+        a max-cycle budget cut the run short; ``"timeline_truncated"``
+        is appended here when the interval telemetry hit its sample
+        cap).  ``mode`` and ``sampling`` record the execution tier and
+        its leg plan / extrapolation / checkpoint provenance for tiered
+        runs.
         """
         from repro.analysis.artifact import RunArtifact
 
@@ -363,6 +431,12 @@ class Simulation:
             [name, label, cycle]
             for (name, label), cycle in self.os.marks.items()
         )
+        flags = list(flags or [])
+        timeline = self.probe_timeline
+        probe_timeline = timeline.to_record() if timeline is not None else None
+        if (timeline is not None and timeline.dropped
+                and "timeline_truncated" not in flags):
+            flags.append("timeline_truncated")
         return RunArtifact(
             spec=spec,
             n_contexts=self.machine.cpu.n_contexts,
@@ -372,7 +446,8 @@ class Simulation:
             startup=startup,
             steady=steady,
             total=total,
-            flags=list(flags or []),
+            flags=flags,
             mode=mode,
             sampling=sampling,
+            probe_timeline=probe_timeline,
         )

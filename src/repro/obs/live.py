@@ -7,8 +7,9 @@ machine every ``2^k`` cycles (the run loop's check is a single mask
 test, so the 2%-overhead budget holds) and feeds each sample to a sink:
 
 * :class:`TtyProgressSink` -- one self-overwriting ``\\r`` status line
-  (percent done, cycle, retired, rolling IPC, host instr/sec, ETA) for
-  ``repro run --progress``;
+  (percent done, cycle, retired, simulated IPC and kernel-cycle share
+  from the interval probe timeline when one is attached, host
+  instr/sec, ETA) for ``repro run --progress``;
 * :class:`JsonlSink` -- one JSON object per beat, for headless runs and
   offline analysis (``repro run --progress-out beats.jsonl``);
 * :class:`StateFileSink` -- atomically overwrites one small file with
@@ -48,6 +49,10 @@ class Heartbeat:
         self.sink = sink
         self.target = target_instructions
         self.label = label
+        #: Optional ProbeTimeline whose latest interval sample is merged
+        #: into every beat (simulated IPC + kernel-cycle share); set by
+        #: Simulation.attach_heartbeat.
+        self.timeline = None
         self.beats = 0
         self._t0 = time.perf_counter()
         self._last = (self._t0, 0, 0)  # (host time, cycle, retired)
@@ -71,6 +76,10 @@ class Heartbeat:
             "ips": round(d_retired / dt, 1) if dt > 0 else 0.0,
             "cps": round(d_cycles / dt, 1) if dt > 0 else 0.0,
         }
+        if self.timeline is not None:
+            latest = self.timeline.latest()
+            if latest is not None:
+                sample.update(latest)
         if self.target:
             sample["target"] = self.target
             sample["pct"] = round(100.0 * retired / self.target, 1)
@@ -100,7 +109,11 @@ def render_sample(sample: dict) -> str:
     if sample.get("target"):
         retired += f"/{sample['target']:,}"
     parts.append(f"{retired} instr")
-    parts.append(f"IPC {sample['rolling_ipc']:.2f}")
+    # Prefer the interval-telemetry IPC (exact over the last timeline
+    # sample) over the beat-window rolling IPC when a timeline is wired.
+    parts.append(f"IPC {sample.get('sim_ipc', sample['rolling_ipc']):.2f}")
+    if "kernel_share" in sample:
+        parts.append(f"krn {sample['kernel_share'] * 100:.0f}%")
     parts.append(f"{_si(sample['ips'])} instr/s")
     if "eta_s" in sample:
         parts.append(f"ETA {_hms(sample['eta_s'])}")

@@ -273,6 +273,19 @@ class ProbeRegistry:
             out = {k: v for k, v in out.items() if k.startswith(prefix)}
         return dict(sorted(out.items()))
 
+    def reader(self, name: str) -> Callable[[], float] | None:
+        """A zero-arg getter for one *scalar* probe, or None.
+
+        Counters and derived probes read in O(1) without building a full
+        snapshot -- the hot path of interval telemetry
+        (:mod:`repro.obs.timeline`).  Histograms and derived-family
+        members have no scalar value and yield None.
+        """
+        counter = self._counters.get(name)
+        if counter is not None:
+            return lambda c=counter: c.value
+        return self._derived.get(name)
+
     def names(self) -> list[str]:
         """Every registered probe name (derived families expanded)."""
         return sorted(self.snapshot())

@@ -1,0 +1,484 @@
+"""Interval telemetry: per-interval probe time series over simulated time.
+
+The paper's headline numbers are whole-window *averages* (Table 4's
+zero-fetch shares, the kernel/user breakdowns behind Figures 1/5); this
+module records how those quantities *evolve*: a :class:`ProbeTimeline`
+attached to a :class:`~repro.core.simulator.Simulation` snapshots a
+configurable probe subset every ``2^k`` simulated cycles -- in both
+execution tiers, with samples landing on exactly the same cycle
+boundaries whether an interval was simulated in detail or fast-forwarded
+-- and delta-encodes the samples into a compact columnar record stored
+on the run artifact (``RunArtifact.probe_timeline``, schema v7).
+
+The record is plain data::
+
+    {"interval": 8192, "samples": 57, "dropped": 0,
+     "columns": {"core.retired": [d0, d1, ...],
+                 "class.kernel": [...], "svc.syscall:read": [...], ...}}
+
+Column ``columns[name][i]`` is the probe's *delta* over sample interval
+``i``, which covers cycles ``(i*interval, (i+1)*interval]``.  Besides
+the configured registry probes, every record carries the four mode-class
+context-cycle columns (``class.user`` / ``class.kernel`` / ``class.pal``
+/ ``class.idle``) and one ``svc.<leaf>`` column per charged service (the
+per-leaf attribution totals; columns appearing mid-run are back-filled
+with zeros so all columns stay equal-length).
+
+On top of the record this module derives headline series at read time
+(:func:`derived_series`: interval IPC, kernel-cycle share, zero-fetch /
+zero-issue shares, ``mem.*`` miss rates, fast-tier share), detects phase
+changes (:func:`detect_phases`: windowed mean shift on IPC and kernel
+share, emitted as ``marks``-style boundaries sampled-mode window
+placement can consume -- see :func:`suggest_warmup`), and diffs two
+runs' timelines interval by interval through the same
+:class:`~repro.obs.diff.DiffReport` machinery as probe diffs
+(:func:`diff_timeline_artifacts` / :func:`diff_timeline_runs`).
+
+``repro timeline <run>`` and ``repro diff --timeline`` are the CLI entry
+points.  Telemetry is default-on (the per-cycle cost is one mask test;
+samples are ~30 dict reads every ``interval`` cycles) and -- like the
+heartbeat and watchdog -- is configured *post-construction*
+(:meth:`~repro.core.simulator.Simulation.configure_timeline`), so it
+never enters the configuration fingerprint: two runs differing only in
+telemetry options share a store key.
+
+Not to be confused with the mode-class ``RunArtifact.timeline`` behind
+Figures 1/5 (:attr:`repro.core.stats.SimStats.timeline`): that is a
+fixed four-share series; this is a general probe time-series layer.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.stats import CLASS_NAMES
+from repro.obs.diff import DiffReport, compile_grep, diff_flat, seed_specs
+
+#: Default sampling interval in simulated cycles (power of two: the run
+#: loops test ``now & mask == 0``, the same pattern as the heartbeat).
+DEFAULT_TIMELINE_INTERVAL = 8192
+
+#: Default sample cap.  Beyond it the recorded prefix is kept and later
+#: intervals are counted in ``dropped`` (mirroring the event ring's
+#: ``core.events.dropped``), so a runaway run cannot grow an artifact
+#: without bound.  4096 samples cover 33.5M cycles at the default
+#: interval -- far past every canonical budget.
+DEFAULT_MAX_SAMPLES = 4096
+
+#: Registry probes sampled by default: the inputs of the headline
+#: derived series (IPC, zero-fetch/zero-issue shares, mem.* miss rates,
+#: fast-tier share).  All are cheap scalar reads (counters or derived
+#: attribute getters); histograms and derived families are not
+#: sampleable (see :meth:`ProbeTimeline.__init__`).
+DEFAULT_TIMELINE_PROBES = (
+    "core.retired",
+    "core.zero_fetch_cycles",
+    "core.zero_issue_cycles",
+    "core.mode.fast_cycles",
+    "mem.l1i.accesses.user", "mem.l1i.accesses.kernel",
+    "mem.l1i.miss.user", "mem.l1i.miss.kernel",
+    "mem.l1d.accesses.user", "mem.l1d.accesses.kernel",
+    "mem.l1d.miss.user", "mem.l1d.miss.kernel",
+    "mem.l2.accesses.user", "mem.l2.accesses.kernel",
+    "mem.l2.miss.user", "mem.l2.miss.kernel",
+    "mem.itlb.accesses.user", "mem.itlb.accesses.kernel",
+    "mem.itlb.miss.user", "mem.itlb.miss.kernel",
+    "mem.dtlb.accesses.user", "mem.dtlb.accesses.kernel",
+    "mem.dtlb.miss.user", "mem.dtlb.miss.kernel",
+)
+
+_CLASS_COLUMNS = tuple(f"class.{name}" for name in CLASS_NAMES)
+
+
+class ProbeTimeline:
+    """Interval sampler for one running simulation.
+
+    ``interval`` rounds up to a power of two; the run loops sample when
+    ``now & mask == 0`` (detailed tier) and clip fast-forward jump
+    blocks at the same boundaries, so a sample always lands at an exact
+    multiple of the interval whatever mix of tiers executed it --
+    :meth:`tick` verifies that alignment and raises if a loop edit ever
+    breaks it.  Sampling is pure observation: no RNG draws, no timing
+    effects, so the simulated trajectory is byte-identical with
+    telemetry on, off, or reconfigured.
+    """
+
+    def __init__(self, sim, interval: int = DEFAULT_TIMELINE_INTERVAL,
+                 probes: tuple[str, ...] | None = None,
+                 max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if interval < 1:
+            raise ValueError(f"timeline interval must be >= 1, got {interval}")
+        if max_samples < 1:
+            raise ValueError(
+                f"timeline max_samples must be >= 1, got {max_samples}")
+        self.interval = 1 << max(0, (interval - 1).bit_length())
+        self.mask = self.interval - 1
+        self.max_samples = max_samples
+        self.probes = tuple(probes if probes is not None
+                            else DEFAULT_TIMELINE_PROBES)
+        self._stats = sim.stats
+        self._readers = []
+        for name in self.probes:
+            read = sim.obs.reader(name)
+            if read is None:
+                raise ValueError(
+                    f"cannot sample probe {name!r}: not a scalar counter or "
+                    "derived probe (histograms and derived families are not "
+                    "timeline-sampleable)")
+            self._readers.append((name, read))
+        self.samples = 0
+        self.dropped = 0
+        self.columns: dict[str, list[int]] = {n: [] for n, _ in self._readers}
+        for name in _CLASS_COLUMNS:
+            self.columns[name] = []
+        self._prev: dict[str, int] = {name: 0 for name in self.columns}
+        start = getattr(sim, "_now", 0)
+        self._expect = (start // self.interval + 1) * self.interval
+
+    def tick(self, now: int) -> None:
+        """Record one sample (called by both run loops at ``2^k`` cycles)."""
+        if now != self._expect:
+            raise RuntimeError(
+                f"probe-timeline sample at cycle {now:,} but expected "
+                f"{self._expect:,}: a run loop stopped clipping at "
+                "interval boundaries (fast/full alignment broken)")
+        self._expect = now + self.interval
+        if self.samples >= self.max_samples:
+            self.dropped += 1
+            return
+        prev = self._prev
+        columns = self.columns
+        for name, read in self._readers:
+            value = read()
+            columns[name].append(value - prev[name])
+            prev[name] = value
+        classes = self._stats.class_cycles
+        for cls, name in enumerate(_CLASS_COLUMNS):
+            value = classes[cls]
+            columns[name].append(value - prev[name])
+            prev[name] = value
+        for svc, value in self._stats.service_cycles.items():
+            name = f"svc.{svc}"
+            column = columns.get(name)
+            if column is None:
+                # A service first charged mid-run: back-fill the earlier
+                # intervals with zeros so every column stays equal-length.
+                column = columns[name] = [0] * self.samples
+                prev[name] = 0
+            column.append(value - prev[name])
+            prev[name] = value
+        self.samples += 1
+
+    def latest(self) -> dict | None:
+        """Headline values of the newest interval (for live heartbeats).
+
+        Returns ``{"sim_ipc": ..., "kernel_share": ...}`` -- the last
+        interval's simulated IPC and kernel-cycle share -- or None
+        before the first sample.
+        """
+        if not self.samples:
+            return None
+        retired = self.columns["core.retired"][-1]
+        class_deltas = [self.columns[name][-1] for name in _CLASS_COLUMNS]
+        total = sum(class_deltas) or 1
+        return {
+            "sim_ipc": round(retired / self.interval, 4),
+            "kernel_share": round(class_deltas[1] / total, 4),
+        }
+
+    def to_record(self) -> dict:
+        """Freeze the sampled series into the artifact's plain-data form."""
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "dropped": self.dropped,
+            "columns": {name: list(self.columns[name])
+                        for name in sorted(self.columns)},
+        }
+
+
+# -- reading records ---------------------------------------------------------
+
+
+def sample_cycles(record: dict) -> list[int]:
+    """The end cycle of every sample interval: ``[I, 2I, 3I, ...]``."""
+    interval = record["interval"]
+    return [(i + 1) * interval for i in range(record["samples"])]
+
+
+def _column(record: dict, name: str) -> list[int] | None:
+    return record.get("columns", {}).get(name)
+
+
+def _share(numer: list[int], denom_total: int) -> list[float]:
+    return [v / denom_total for v in numer]
+
+
+def _miss_rate(record: dict, level: str) -> list[float] | None:
+    cols = record.get("columns", {})
+    try:
+        acc = [cols[f"mem.{level}.accesses.user"][i]
+               + cols[f"mem.{level}.accesses.kernel"][i]
+               for i in range(record["samples"])]
+        miss = [cols[f"mem.{level}.miss.user"][i]
+                + cols[f"mem.{level}.miss.kernel"][i]
+                for i in range(record["samples"])]
+    except KeyError:
+        return None
+    return [(m / a) if a else 0.0 for m, a in zip(miss, acc)]
+
+
+def derived_series(record: dict) -> dict[str, list[float]]:
+    """Headline series derived from a record's delta columns.
+
+    ``ipc`` (retired / interval), ``kernel_share`` (of context-cycles),
+    ``zero_fetch_share`` / ``zero_issue_share`` (of machine cycles;
+    counted only while the detailed tier runs, so fast-forwarded
+    intervals read 0 -- ``fast_share`` identifies them), and ``miss.*``
+    rates per memory level.  Series whose input columns were not
+    sampled are omitted.
+    """
+    interval = record["interval"]
+    k = record["samples"]
+    out: dict[str, list[float]] = {}
+    retired = _column(record, "core.retired")
+    if retired is not None:
+        out["ipc"] = [v / interval for v in retired]
+    class_cols = [_column(record, name) for name in _CLASS_COLUMNS]
+    if all(c is not None for c in class_cols):
+        totals = [sum(c[i] for c in class_cols) or 1 for i in range(k)]
+        out["kernel_share"] = [class_cols[1][i] / totals[i] for i in range(k)]
+    for key, probe in (("zero_fetch_share", "core.zero_fetch_cycles"),
+                       ("zero_issue_share", "core.zero_issue_cycles"),
+                       ("fast_share", "core.mode.fast_cycles")):
+        column = _column(record, probe)
+        if column is not None:
+            out[key] = _share(column, interval)
+    for level in ("l1i", "l1d", "l2", "itlb", "dtlb"):
+        rates = _miss_rate(record, level)
+        if rates is not None:
+            out[f"miss.{level}"] = rates
+    return out
+
+
+def service_share_series(record: dict) -> dict[str, list[float]]:
+    """Every ``svc.<leaf>`` column as a share of interval context-cycles."""
+    k = record["samples"]
+    class_cols = [_column(record, name) for name in _CLASS_COLUMNS]
+    if not all(c is not None for c in class_cols):
+        return {}
+    totals = [sum(c[i] for c in class_cols) or 1 for i in range(k)]
+    out: dict[str, list[float]] = {}
+    for name in sorted(record.get("columns", {})):
+        if name.startswith("svc."):
+            column = record["columns"][name]
+            out[name] = [column[i] / totals[i] for i in range(k)]
+    return out
+
+
+# -- phase detection ---------------------------------------------------------
+
+
+def detect_phases(record: dict, window: int = 8, min_rel: float = 0.25,
+                  min_share: float = 0.08) -> list[dict]:
+    """Phase boundaries from a windowed mean shift on IPC + kernel share.
+
+    Slides a change-point test over the per-interval series: at each
+    candidate sample ``i`` the means of the ``window`` samples before
+    and after are compared, and a boundary is emitted when interval IPC
+    moves by more than ``min_rel`` relatively (with a small absolute
+    floor, so idle-vs-idle jitter never triggers) or the kernel-cycle
+    share moves by more than ``min_share`` absolutely.  After a hit the
+    scan skips a full window, so one transition yields one boundary.
+
+    Returns ``[{"index", "cycle", "metric", "before", "after"}, ...]``
+    sorted by cycle; ``cycle`` is the exact interval boundary
+    ``index * interval``, directly usable as a mark.  Purely a function
+    of the stored record (nothing is persisted), so thresholds can be
+    re-tuned against old artifacts.
+    """
+    if window < 1:
+        raise ValueError(f"phase window must be >= 1, got {window}")
+    series = derived_series(record)
+    interval = record["interval"]
+    k = record["samples"]
+    tests = []
+    if "ipc" in series:
+        tests.append(("ipc", series["ipc"], "rel"))
+    if "kernel_share" in series:
+        tests.append(("kernel_share", series["kernel_share"], "abs"))
+    boundaries: list[dict] = []
+    i = window
+    while i <= k - window:
+        hit = None
+        for metric, values, kind in tests:
+            before = sum(values[i - window:i]) / window
+            after = sum(values[i:i + window]) / window
+            shift = abs(after - before)
+            if kind == "rel":
+                floor = max(min_rel * max(abs(before), abs(after)), 0.05)
+                triggered = shift > floor
+            else:
+                triggered = shift > min_share
+            if triggered:
+                hit = {"index": i, "cycle": i * interval, "metric": metric,
+                       "before": round(before, 6), "after": round(after, 6)}
+                break
+        if hit is not None:
+            boundaries.append(hit)
+            i += window
+        else:
+            i += 1
+    return boundaries
+
+
+def phase_marks(record: dict, **kwargs) -> list[list]:
+    """Detected boundaries in the artifact ``marks`` shape:
+    ``[["timeline", "phase", cycle], ...]``."""
+    return [["timeline", "phase", b["cycle"]]
+            for b in detect_phases(record, **kwargs)]
+
+
+def suggest_warmup(record: dict, **kwargs) -> int | None:
+    """Retired-instruction count at the first phase boundary, or None.
+
+    The sampled-mode consumer: pass this as ``--warmup`` so measurement
+    windows start after the run's first behavioral transition instead
+    of at an arbitrary instruction count (docs/execution-modes.md).
+    """
+    boundaries = detect_phases(record, **kwargs)
+    retired = _column(record, "core.retired")
+    if not boundaries or retired is None:
+        return None
+    index = boundaries[0]["index"]
+    return int(sum(retired[:index]))
+
+
+# -- diffing timelines -------------------------------------------------------
+
+
+def timeline_record(artifact) -> dict | None:
+    """The probe-timeline record of an artifact, or None (pre-v7 /
+    telemetry disabled), so tooling degrades gracefully on old stores."""
+    record = getattr(artifact, "probe_timeline", None)
+    if not isinstance(record, dict) or not record.get("samples"):
+        return None
+    return record
+
+
+def flatten_timeline(record: dict, limit: int | None = None) -> dict[str, float]:
+    """One record as flat ``{"series@cycle": value}`` pairs.
+
+    Entries are the derived headline series plus the per-service
+    context-cycle shares -- all rates, so two runs with different
+    budgets compare interval-for-interval without normalization.
+    *limit* truncates to the first N samples (diffs align on the cycle
+    axis over the shared prefix of both runs).
+    """
+    cycles = sample_cycles(record)
+    if limit is not None:
+        cycles = cycles[:limit]
+    flat: dict[str, float] = {}
+    series = dict(derived_series(record))
+    series.update(service_share_series(record))
+    for name in sorted(series):
+        values = series[name]
+        for cycle, value in zip(cycles, values):
+            flat[f"{name}@{cycle}"] = value
+    return flat
+
+
+def timeline_mean_and_band(
+    records: list[dict], limit: int | None = None,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-entry mean and 2-sigma half-width across seed repeats (the
+    timeline analogue of :func:`repro.obs.diff.mean_and_band`)."""
+    flats = [flatten_timeline(r, limit=limit) for r in records]
+    names = sorted(set().union(*flats)) if flats else []
+    mean: dict[str, float] = {}
+    band: dict[str, float] = {}
+    for name in names:
+        values = [f.get(name, 0) for f in flats]
+        mean[name] = sum(values) / len(values)
+        band[name] = (2.0 * statistics.stdev(values)
+                      if len(values) > 1 else 0.0)
+    return mean, band
+
+
+def diff_timeline_artifacts(art_a, art_b,
+                            grep: str | None = None) -> DiffReport:
+    """Diff two artifacts' probe timelines interval by interval.
+
+    Each delta's ``name`` is ``series@cycle``; both sides are truncated
+    to the shared sample prefix so every compared entry describes the
+    same slice of simulated time on both machines.  Artifacts without a
+    timeline yield an empty report (pre-v7 stores).
+    """
+    rec_a, rec_b = timeline_record(art_a), timeline_record(art_b)
+    deltas = []
+    if rec_a is not None and rec_b is not None:
+        limit = min(rec_a["samples"], rec_b["samples"])
+        deltas = diff_flat(flatten_timeline(rec_a, limit=limit),
+                           flatten_timeline(rec_b, limit=limit), grep=grep)
+    return DiffReport(
+        a_label=art_a.label, b_label=art_b.label,
+        a_fingerprint=art_a.fingerprint, b_fingerprint=art_b.fingerprint,
+        window="timeline", grep=grep, deltas=deltas)
+
+
+def diff_timeline_runs(
+    spec_a: dict,
+    spec_b: dict,
+    grep: str | None = None,
+    seeds: int = 1,
+    max_workers: int | None = None,
+) -> DiffReport:
+    """Diff two run specs' timelines with seed-repeat noise bands.
+
+    The timeline twin of :func:`repro.obs.diff.diff_runs`: each side
+    runs under ``seeds`` consecutive seeds (parallel fan-out,
+    store-warm on repeat), sides compare mean-vs-mean per
+    ``series@cycle`` entry, and deltas inside the combined 2-sigma band
+    are marked insignificant -- ranking the *intervals* where two
+    machines genuinely diverge beyond seed noise.
+    """
+    from repro.analysis import experiments
+    from repro.analysis.artifact import run_fingerprint
+    from repro.analysis.runner import run_many
+
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    fan = seed_specs(spec_a, seeds) + seed_specs(spec_b, seeds)
+    arts = list(run_many(fan, max_workers=max_workers).values())
+    recs_a = [r for r in (timeline_record(a) for a in arts[:seeds]) if r]
+    recs_b = [r for r in (timeline_record(b) for b in arts[seeds:]) if r]
+    limit = min((r["samples"] for r in recs_a + recs_b), default=0)
+    mean_a, band_a = timeline_mean_and_band(recs_a, limit=limit)
+    mean_b, band_b = timeline_mean_and_band(recs_b, limit=limit)
+    bands = {name: band_a.get(name, 0.0) + band_b.get(name, 0.0)
+             for name in sorted(set(band_a) | set(band_b))}
+
+    def _identity(spec: dict) -> tuple[str, str]:
+        label = "-".join((spec["workload"], spec["cpu"],
+                          spec.get("os_mode", "full")))
+        resolved = experiments.run_spec(
+            spec["workload"], spec["cpu"], spec.get("os_mode", "full"),
+            spec.get("instructions"), spec.get("seed", 11))
+        return label, run_fingerprint(resolved)
+
+    (label_a, fp_a), (label_b, fp_b) = _identity(spec_a), _identity(spec_b)
+    return DiffReport(
+        a_label=label_a, b_label=label_b,
+        a_fingerprint=fp_a, b_fingerprint=fp_b,
+        window="timeline", grep=grep, seeds=seeds,
+        deltas=diff_flat(mean_a, mean_b, grep=grep, bands=bands))
+
+
+def filter_series(series: dict[str, list[float]],
+                  grep: str | None) -> dict[str, list[float]]:
+    """Apply the CLI's shared unanchored regex filter to a series dict."""
+    pattern = compile_grep(grep)
+    if pattern is None:
+        return series
+    return {name: values for name, values in series.items()
+            if pattern.search(name)}

@@ -1,0 +1,440 @@
+"""Tests for interval telemetry (repro.obs.timeline).
+
+Covers record determinism (same config+seed => byte-identical
+``probe_timeline``), both-tier alignment (class-column conservation in
+the detailed and fast tiers; sampled-mode fast/full leg boundaries
+reconstructed from the leg records), checkpoint-restore equivalence,
+truncation at the sample cap, fingerprint neutrality of telemetry
+options, phase detection, the diff/flatten layer, CSV export, and the
+``repro timeline`` / ``repro diff --timeline`` CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis import experiments
+from repro.analysis.artifact import canonical_json
+from repro.analysis.export import probe_timeline_to_csv
+from repro.analysis.render import sparkline
+from repro.core.simulator import Simulation
+from repro.obs import timeline as tl
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.specint import SpecIntWorkload
+
+INTERVAL = 2048  # small so short test runs produce many samples
+
+
+def _sim(workload=SpecIntWorkload, seed=11, **kwargs):
+    sim = Simulation(workload(), seed=seed)
+    sim.configure_timeline(interval=INTERVAL, **kwargs)
+    return sim
+
+
+def _artifact(sim):
+    """Freeze *sim* with trivial (identical) counter windows."""
+    from repro.analysis.snapshot import capture, diff
+
+    window = diff(capture(sim), capture(sim))
+    return sim.to_artifact(window, window, window)
+
+
+# -- record basics -----------------------------------------------------------
+
+
+def test_interval_rounds_up_to_power_of_two():
+    sim = Simulation(SpecIntWorkload(), seed=11)
+    probe_tl = sim.configure_timeline(interval=3000)
+    assert probe_tl.interval == 4096
+    assert probe_tl.mask == 4095
+    with pytest.raises(ValueError, match="interval"):
+        sim.configure_timeline(interval=0)
+    with pytest.raises(ValueError, match="max_samples"):
+        sim.configure_timeline(max_samples=0)
+
+
+def test_unsampleable_probe_rejected():
+    sim = Simulation(SpecIntWorkload(), seed=11)
+    with pytest.raises(ValueError, match="not a scalar"):
+        sim.configure_timeline(probes=("no.such.probe",))
+
+
+def test_record_shape_and_class_conservation_detailed_tier():
+    sim = _sim()
+    sim.run(max_instructions=40_000)
+    rec = sim.probe_timeline.to_record()
+    assert rec["interval"] == INTERVAL
+    assert rec["samples"] >= 4
+    assert rec["dropped"] == 0
+    n = sim.machine.cpu.n_contexts
+    cols = rec["columns"]
+    lengths = {len(c) for c in cols.values()}
+    assert lengths == {rec["samples"]}
+    # every interval's class deltas account for every context-cycle
+    for i in range(rec["samples"]):
+        total = sum(cols[f"class.{name}"][i]
+                    for name in ("user", "kernel", "pal", "idle"))
+        assert total == INTERVAL * n
+
+
+def test_class_conservation_fast_tier():
+    from repro.core.engine import fast_forward
+
+    sim = Simulation(SpecIntWorkload(), seed=11)
+    # the fast tier retires ~width instructions per cycle, so shrink the
+    # interval to still get several samples from a short run
+    sim.configure_timeline(interval=512)
+    fast_forward(sim, max_instructions=40_000)
+    rec = sim.probe_timeline.to_record()
+    interval = rec["interval"]
+    assert rec["samples"] >= 4
+    n = sim.machine.cpu.n_contexts
+    cols = rec["columns"]
+    for i in range(rec["samples"]):
+        total = sum(cols[f"class.{name}"][i]
+                    for name in ("user", "kernel", "pal", "idle"))
+        assert total == interval * n
+    # the whole run was fast-forwarded: every interval is 100% fast tier
+    assert all(v == interval for v in cols["core.mode.fast_cycles"])
+
+
+def test_same_seed_records_byte_identical():
+    records = []
+    for _ in range(2):
+        sim = _sim(workload=ApacheWorkload, seed=23)
+        sim.run(max_instructions=30_000)
+        records.append(canonical_json(sim.probe_timeline.to_record()))
+    assert records[0] == records[1]
+
+
+def test_telemetry_config_does_not_perturb_trajectory_or_fingerprint():
+    base = Simulation(SpecIntWorkload(), seed=7)
+    base.run(max_instructions=20_000)
+    off = Simulation(SpecIntWorkload(), seed=7)
+    off.configure_timeline(enabled=False)
+    off.run(max_instructions=20_000)
+    weird = Simulation(SpecIntWorkload(), seed=7)
+    weird.configure_timeline(interval=256, probes=("core.retired",))
+    weird.run(max_instructions=20_000)
+    assert base.params == off.params == weird.params
+    assert (base.stats.retired, base.stats.cycles) \
+        == (off.stats.retired, off.stats.cycles) \
+        == (weird.stats.retired, weird.stats.cycles)
+    assert off.probe_timeline is None
+    assert off.obs.snapshot()["core.timeline.samples"] == 0
+
+
+def test_sample_cap_counts_dropped_intervals():
+    sim = _sim(max_samples=2)
+    sim.run(max_instructions=40_000)
+    probe_tl = sim.probe_timeline
+    assert probe_tl.samples == 2
+    assert probe_tl.dropped >= 1
+    art = _artifact(sim)
+    assert "timeline_truncated" in art.flags
+    assert art.probe_timeline["dropped"] == probe_tl.dropped
+
+
+def test_alignment_guard_rejects_off_boundary_tick():
+    sim = _sim()
+    with pytest.raises(RuntimeError, match="alignment"):
+        sim.probe_timeline.tick(INTERVAL + 1)
+
+
+# -- sampled mode ------------------------------------------------------------
+
+
+def test_sampled_legs_reconstruct_fast_cycles_column():
+    from repro.core.engine import build_plan, run_plan
+
+    sim = _sim(workload=ApacheWorkload)
+    plan = build_plan("sampled", 60_000, warmup=10_000, sample=(8_000, 8_000))
+    records, _ = run_plan(sim, plan)
+    rec = sim.probe_timeline.to_record()
+    assert rec["samples"] >= 2
+    # rebuild each interval's fast-tier cycle count from the leg records
+    spans = []
+    start = 0
+    for leg in records:
+        end = start + leg["cycles"]
+        if leg["mode"] == "fast":
+            spans.append((start, end))
+        start = end
+    fast_col = rec["columns"]["core.mode.fast_cycles"]
+    for i, measured in enumerate(fast_col):
+        lo, hi = i * rec["interval"], (i + 1) * rec["interval"]
+        overlap = sum(max(0, min(hi, b) - max(lo, a)) for a, b in spans)
+        assert measured == overlap, f"sample {i}: {measured} != {overlap}"
+
+
+def test_checkpoint_restore_reproduces_identical_record(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    spec = experiments.run_spec("specint", "smt", "full", 16_000, 11,
+                                mode="sampled", warmup=6_000,
+                                sample=(6_000, 2_000))
+    straight = experiments.execute_spec(spec, checkpoint=True)
+    assert straight.sampling["checkpoint"]["restored"] is False
+    experiments.clear_cache()
+    restored = experiments.execute_spec(spec, checkpoint=True)
+    assert restored.sampling["checkpoint"]["restored"] is True
+    assert straight.probe_timeline == restored.probe_timeline
+
+
+def test_checkpoint_survives_telemetry_config_change():
+    # Checkpoint state digests must exclude core.timeline.* (telemetry
+    # is an execution option): a checkpoint saved with samples already
+    # recorded restores under a different interval -- or with the
+    # sampler removed -- without digest drift.
+    from repro.core import checkpoint as ckpt
+    from repro.core.engine import Leg, run_plan
+
+    prefix = [Leg("fast", 100_000)]  # ~12.5k fast cycles: > one default
+    saver = experiments.build_simulation("specint", "smt", "full")
+    run_plan(saver, prefix)          # interval, so samples > 0 at save
+    assert saver.obs.reader("core.timeline.samples")() > 0
+    saved = ckpt.take(saver, prefix)
+
+    retuned = experiments.build_simulation("specint", "smt", "full")
+    retuned.configure_timeline(interval=INTERVAL)
+    ckpt.restore(retuned, saved)     # would raise CheckpointError pre-v2
+    assert retuned.stats.retired == saved["boundary"]
+
+    disabled = experiments.build_simulation("specint", "smt", "full")
+    disabled.configure_timeline(enabled=False)
+    ckpt.restore(disabled, saved)
+    assert disabled.now == saved["cycle"]
+
+
+# -- derived series and phases ----------------------------------------------
+
+
+def _synthetic_record(ipc_halves=(4.0, 1.0), samples=24, interval=1024,
+                      kernel=0.2):
+    half = samples // 2
+    retired = [int(ipc_halves[0] * interval)] * half \
+        + [int(ipc_halves[1] * interval)] * (samples - half)
+    n = 8
+    kern = int(kernel * interval * n)
+    columns = {
+        "core.retired": retired,
+        "class.user": [interval * n - kern] * samples,
+        "class.kernel": [kern] * samples,
+        "class.pal": [0] * samples,
+        "class.idle": [0] * samples,
+    }
+    return {"interval": interval, "samples": samples, "dropped": 0,
+            "columns": columns}
+
+
+def test_derived_series_values():
+    rec = _synthetic_record()
+    series = tl.derived_series(rec)
+    assert series["ipc"][0] == pytest.approx(4.0)
+    assert series["ipc"][-1] == pytest.approx(1.0)
+    assert series["kernel_share"][0] == pytest.approx(0.2, rel=1e-2)
+    # miss.* omitted: no mem columns in the synthetic record
+    assert not any(name.startswith("miss.") for name in series)
+
+
+def test_detect_phases_finds_midpoint_shift():
+    rec = _synthetic_record(ipc_halves=(4.0, 1.0), samples=24)
+    phases = tl.detect_phases(rec, window=4)
+    assert phases, "expected one IPC phase boundary"
+    first = phases[0]
+    assert first["metric"] == "ipc"
+    # the shift straddles sample 12; the windowed test fires as soon as
+    # the after-window starts to overlap it
+    assert 8 <= first["index"] <= 16
+    assert first["cycle"] == first["index"] * rec["interval"]
+    marks = tl.phase_marks(rec, window=4)
+    assert marks[0] == ["timeline", "phase", first["cycle"]]
+    warmup = tl.suggest_warmup(rec, window=4)
+    assert warmup == sum(rec["columns"]["core.retired"][:first["index"]])
+
+
+def test_detect_phases_quiet_on_flat_series():
+    rec = _synthetic_record(ipc_halves=(2.0, 2.0))
+    assert tl.detect_phases(rec, window=4) == []
+
+
+def test_real_run_has_timeline_on_artifact():
+    sim = _sim()
+    sim.run(max_instructions=40_000)
+    art = _artifact(sim)
+    rec = tl.timeline_record(art)
+    assert rec is not None
+    series = tl.derived_series(rec)
+    assert set(series) >= {"ipc", "kernel_share", "zero_fetch_share",
+                           "zero_issue_share", "fast_share", "miss.l1d"}
+    assert tl.timeline_record(object()) is None
+
+
+# -- flatten / diff ----------------------------------------------------------
+
+
+def test_flatten_uses_cycle_stamps_and_limit():
+    rec = _synthetic_record(samples=4, interval=1024)
+    flat = tl.flatten_timeline(rec)
+    assert flat["ipc@1024"] == pytest.approx(4.0)
+    assert flat["ipc@4096"] == pytest.approx(1.0)
+    limited = tl.flatten_timeline(rec, limit=2)
+    assert set(limited) == {"ipc@1024", "ipc@2048",
+                            "kernel_share@1024", "kernel_share@2048"}
+
+
+def test_diff_timeline_artifacts_shared_prefix():
+    sims = []
+    for budget, seed in ((30_000, 11), (50_000, 23)):
+        sim = _sim(workload=ApacheWorkload, seed=seed)
+        sim.run(max_instructions=budget)
+        sims.append(_artifact(sim))
+    short_rec = tl.timeline_record(sims[0])
+    report = tl.diff_timeline_artifacts(sims[0], sims[1])
+    assert report.window == "timeline"
+    max_cycle = max(int(d.name.rsplit("@", 1)[1]) for d in report.deltas)
+    assert max_cycle <= short_rec["samples"] * short_rec["interval"]
+
+
+def test_diff_timeline_handles_missing_record():
+    sim = _sim()
+    sim.run(max_instructions=20_000)
+    art = _artifact(sim)
+    bare = _artifact(sim)
+    bare.probe_timeline = None
+    report = tl.diff_timeline_artifacts(art, bare)
+    assert report.deltas == []
+
+
+# -- exports and rendering ---------------------------------------------------
+
+
+def test_probe_timeline_to_csv_round_trip(tmp_path):
+    sim = _sim()
+    sim.run(max_instructions=30_000)
+    art = _artifact(sim)
+    path = probe_timeline_to_csv(art, tmp_path / "tl.csv")
+    lines = path.read_text().strip().split("\n")
+    header = lines[0].split(",")
+    assert header[0] == "cycle"
+    assert header[1:] == sorted(art.probe_timeline["columns"])
+    assert len(lines) == 1 + art.probe_timeline["samples"]
+    first = lines[1].split(",")
+    assert int(first[0]) == art.probe_timeline["interval"]
+    retired_at = header.index("core.retired")
+    assert int(first[retired_at]) \
+        == art.probe_timeline["columns"]["core.retired"][0]
+    art.probe_timeline = None
+    with pytest.raises(ValueError, match="no probe timeline"):
+        probe_timeline_to_csv(art, tmp_path / "tl2.csv")
+
+
+def test_sparkline_resamples_and_handles_edges():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+    line = sparkline([0.0, 1.0])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(list(range(1000)), width=32)) == 32
+
+
+# -- artifact round trip -----------------------------------------------------
+
+
+def test_artifact_json_round_trip_preserves_record():
+    from repro.analysis.artifact import RunArtifact
+
+    sim = _sim()
+    sim.run(max_instructions=30_000)
+    art = _artifact(sim)
+    again = RunArtifact.loads(art.dumps())
+    assert again.probe_timeline == art.probe_timeline
+    assert again.class_timeline == art.timeline
+
+
+# -- live heartbeat merge ----------------------------------------------------
+
+
+def test_heartbeat_carries_latest_interval_sample():
+    from repro.obs.live import Heartbeat, render_sample
+
+    sim = _sim()
+    samples = []
+    sim.attach_heartbeat(Heartbeat(samples.append, interval=INTERVAL))
+    sim.run(max_instructions=40_000)
+    merged = [s for s in samples if "sim_ipc" in s]
+    assert merged, "no heartbeat sample carried interval telemetry"
+    line = render_sample(merged[-1])
+    assert "krn" in line
+    assert f"IPC {merged[-1]['sim_ipc']:.2f}" in line
+    # disabling telemetry detaches it from future beats too
+    sim2 = _sim()
+    beats2 = []
+    sim2.attach_heartbeat(Heartbeat(beats2.append, interval=INTERVAL))
+    sim2.configure_timeline(enabled=False)
+    sim2.run(max_instructions=20_000)
+    assert not any("sim_ipc" in s for s in beats2)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def small_budgets(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BUDGET_MULT", "0.2")
+    experiments.clear_cache()
+    yield
+    experiments.clear_cache()
+
+
+def test_cli_timeline_renders_series(small_budgets, capsys):
+    assert cli.main(["timeline", "specint-smt-full"]) == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out and "kernel_share" in out
+    assert "sample(s)" in out
+    assert any(glyph in out for glyph in "▁▂▃▄▅▆▇█")
+
+
+def test_cli_timeline_probe_filter_and_exports(small_budgets, tmp_path,
+                                               capsys):
+    csv_path = tmp_path / "tl.csv"
+    json_path = tmp_path / "tl.json"
+    assert cli.main(["timeline", "specint-smt-full",
+                     "--probe", "ipc", "--csv", str(csv_path),
+                     "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out and "miss.l1d" not in out
+    assert csv_path.exists()
+    payload = json.loads(json_path.read_text())
+    assert payload["record"]["samples"] >= 1
+    assert "phases" in payload
+    # overwrite guard
+    with pytest.raises(SystemExit, match="refusing to overwrite"):
+        cli.main(["timeline", "specint-smt-full", "--csv", str(csv_path)])
+    with pytest.raises(SystemExit, match="unknown timeline series"):
+        cli.main(["timeline", "specint-smt-full", "--probe", "nope"])
+
+
+def test_cli_timeline_warns_on_truncation(tmp_path, capsys):
+    sim = _sim(max_samples=2)
+    sim.run(max_instructions=40_000)
+    path = tmp_path / "trunc.json"
+    path.write_text(_artifact(sim).dumps())
+    assert cli.main(["timeline", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sample cap hit" in out and "truncated" in out
+
+
+def test_cli_diff_timeline_ranks_interval_movers(small_budgets, capsys):
+    assert cli.main(["diff", "specint-ss-full", "specint-smt-full",
+                     "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline window" in out
+    assert "@" in out  # series@cycle entries
+
+
+def test_cli_diff_timeline_flag_conflicts(small_budgets):
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        cli.main(["diff", "a-b-c", "d-e-f", "--timeline", "--flame"])
+    with pytest.raises(SystemExit, match="per-kilo"):
+        cli.main(["diff", "a-b-c", "d-e-f", "--timeline", "--per-kilo"])
