@@ -187,6 +187,10 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
     # None forces a first-charge derivation for every stream, which is
     # also the alignment sweep after a detailed leg ran in between.
     last_svc: list = [None] * n
+    # Reused per-cycle charge buffer: charge_cycle/charge_cycles only
+    # read it, and rebuilding a list every nominal cycle was the fast
+    # loop's largest allocation churn (lint H101/H103).
+    services: list = [""] * n
     load_t = InstrType.LOAD
     store_t = InstrType.STORE
     sync_t = InstrType.SYNC
@@ -218,13 +222,14 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
                 if jump > tl_room:
                     jump = tl_room
             if attrib is None:
-                charge_n([s.current_service for s in streams], jump)
+                for i in range(n):
+                    services[i] = streams[i].current_service
+                charge_n(services, jump)
             else:
-                services = []
                 for i in range(n):
                     s = streams[i]
                     svc = s.current_service
-                    services.append(svc)
+                    services[i] = svc
                     if svc != last_svc[i]:
                         # os_tick just above may have delivered interrupts
                         # (new frames + spans): re-derive the path whenever
@@ -298,13 +303,14 @@ def _fast_once(sim, max_instructions: int, max_cycles: int | None,
             if budget <= 0:
                 break
         if attrib is None:
-            charge([s.current_service for s in streams])
+            for i in range(n):
+                services[i] = streams[i].current_service
+            charge(services)
         else:
-            services = []
             for i in range(n):
                 s = streams[i]
                 svc = s.current_service
-                services.append(svc)
+                services[i] = svc
                 if svc != last_svc[i]:
                     last_svc[i] = svc
                     attrib.switch(s.ctx, s.current_attrib[1])

@@ -91,6 +91,15 @@ class Processor:
                                       config.btb_entries, config.btb_assoc,
                                       config.per_context_history)
         self.contexts = [_HWContext(i, s) for i, s in enumerate(streams)]
+        #: Per-context charged services, kept in sync with
+        #: ``_HWContext.current_service`` by ``_admit`` so the per-cycle
+        #: charge passes one reused list instead of rebuilding it
+        #: (charge_cycle only reads it).
+        self._services = [c.current_service for c in self.contexts]
+        #: Fetch-priority sort key, bound once (the policy never changes
+        #: after construction; a per-cycle lambda showed up in H104).
+        self._fetch_key = self._icount_key \
+            if config.fetch_policy == "icount" else self._rr_key
         self.int_queue: list[Instruction] = []
         self.fp_queue: list[Instruction] = []
         self.int_count = 0
@@ -131,7 +140,7 @@ class Processor:
         self._retire(now)
         self._issue(now)
         self._fetch(now)
-        self.stats.charge_cycle([c.current_service for c in self.contexts])
+        self.stats.charge_cycle(self._services)
 
     # -- branch resolution / squash --------------------------------------------
 
@@ -372,14 +381,7 @@ class Processor:
         # stream would otherwise win ICOUNT priority and starve real work --
         # exactly the SMT resource waste the paper flags ("the idle loop ...
         # can waste resources on an SMT").
-        if cfg.fetch_policy == "icount":
-            eligible.sort(
-                key=lambda c: (c.current_service == "idle", c.queued,
-                               (c.index - self._rr_cursor) % cfg.n_contexts))
-        else:  # round_robin ablation
-            eligible.sort(
-                key=lambda c: (c.current_service == "idle",
-                               (c.index - self._rr_cursor) % cfg.n_contexts))
+        eligible.sort(key=self._fetch_key)
         slots = cfg.fetch_width
         fetched = 0
         providers = 0
@@ -396,6 +398,14 @@ class Processor:
         stats.fetched += fetched
         if fetched == 0:
             stats.zero_fetch_cycles += 1
+
+    def _icount_key(self, c: _HWContext) -> tuple[bool, int, int]:
+        return (c.current_service == "idle", c.queued,
+                (c.index - self._rr_cursor) % self.config.n_contexts)
+
+    def _rr_key(self, c: _HWContext) -> tuple[bool, int]:  # ablation policy
+        return (c.current_service == "idle",
+                (c.index - self._rr_cursor) % self.config.n_contexts)
 
     def _fetch_from(self, ctx: _HWContext, now: int, slots: int) -> tuple[int, bool]:
         """Fetch up to *slots* instructions from one context.
@@ -480,6 +490,7 @@ class Processor:
                 self.events.emit(now, "pipeline", instr.service, "B",
                                  ctx=ctx.index, service=instr.service)
             ctx.current_service = instr.service
+            self._services[ctx.index] = instr.service
             attrib = self.attrib
             if attrib is not None:
                 # Re-derive the call path only when the charged service

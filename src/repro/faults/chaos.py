@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro import faults
 from repro.analysis import experiments
@@ -125,8 +126,8 @@ class _Ctx:
     def plan(self, *sites: faults.FaultSite) -> faults.FaultPlan:
         return faults.FaultPlan(sites=tuple(sites), seed=self.seed)
 
-    def supervise(self, specs, plan: faults.FaultPlan | None,
-                  **overrides) -> tuple[Supervisor, dict]:
+    def supervise(self, specs: list[dict], plan: faults.FaultPlan | None,
+                  **overrides: Any) -> tuple[Supervisor, dict]:
         """One supervised sweep under *plan* (cleared afterwards)."""
         experiments.clear_cache()
         if plan is not None:
@@ -314,7 +315,8 @@ def scenario_names() -> list[str]:
     return [name for name, _ in SCENARIOS]
 
 
-def run_matrix(store_root, seed: int = 11, names: list[str] | None = None,
+def run_matrix(store_root: str | pathlib.Path, seed: int = 11,
+               names: list[str] | None = None,
                timeout: float = DEFAULT_TIMEOUT, retries: int = 2,
                max_workers: int = 2,
                instructions: int = DEFAULT_INSTRUCTIONS,

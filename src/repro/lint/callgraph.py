@@ -1,0 +1,541 @@
+"""Cross-module call graph with receiver-type binding.
+
+The P-rules already resolve ``self.attr = Class(...)`` assignments to
+follow probe registration across files; this module generalizes that
+idea into a whole-program call graph the H/E/F rule families share:
+
+* every class, method, and module-level function in the scan tree is
+  indexed (including nested ``def``s, attributed to their enclosing
+  function -- a closure runs where its owner runs);
+* instance-attribute types are inferred from ``self.attr = Class(...)``
+  and annotated assignments/dataclass fields, so ``self.os.tick()``
+  binds to ``MiniDUX.tick``;
+* local aliases of bound methods (``cycle = self.processor.cycle``)
+  resolve calls through the alias -- the idiom both hot loops use;
+* parameter types flow through call sites for a few rounds, so
+  ``_fast_once(sim, ...)`` learns that ``sim`` is a ``Simulation``
+  from ``fast_forward(self, ...)``.
+
+Resolution is deliberately name-based (classes are global by name,
+ambiguous names resolve to nothing) so the same machinery works on the
+live tree and on small lint fixtures without import plumbing.  A last
+resort resolves a method call on an unknown receiver when exactly one
+scanned class defines that method name and the name is not a common
+container/stdlib verb.
+
+The graph is built once per engine run and memoized on the engine, so
+the H, E, and F families share one construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.engine import FileContext, LintEngine
+
+#: (relpath, class name or "", function name) -- the node identity.
+FuncKey = tuple[str, str, str]
+
+#: Inferred static types, as small tagged tuples:
+#: ``("inst", C)`` instance of class C, ``("list", C)`` list of C,
+#: ``("bound", C, m)`` bound method C.m, ``("func", path, f)`` module
+#: function, ``("class", C)`` the class object itself, ``("mod", name)``
+#: a module alias.
+TypeRef = tuple[str, ...]
+
+#: Method names never resolved by the unique-owner fallback: they are
+#: too likely to collide with builtin container / stdlib protocols.
+_COMMON_METHOD_NAMES = frozenset({
+    "add", "append", "clear", "close", "copy", "count", "decode", "dump",
+    "dumps", "emit", "encode", "endswith", "exists", "extend", "findall",
+    "flush", "format", "get", "group", "index", "insert", "items", "join",
+    "keys", "load", "loads", "match", "mkdir", "name", "open", "pop",
+    "popleft", "put", "read", "remove", "run", "search", "sort", "split",
+    "startswith", "strip", "sub", "tick", "update", "values", "write",
+})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One static call from a function to another program function."""
+
+    callee: FuncKey
+    line: int
+    #: ``for``/``while`` nesting depth of the call site within its
+    #: enclosing (outermost) function; 0 = straight-line code.
+    depth: int
+
+
+@dataclass
+class FuncInfo:
+    """One function or method node in the graph."""
+
+    key: FuncKey
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    relpath: str
+    class_name: str  # "" for module-level functions
+    name: str
+    param_types: dict[str, TypeRef] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+    @property
+    def label(self) -> str:
+        return f"{self.relpath}::{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition (first wins when a name is duplicated)."""
+
+    name: str
+    relpath: str
+    bases: list[str]
+    methods: dict[str, FuncKey] = field(default_factory=dict)
+
+
+class CallGraph:
+    """The whole-program call graph (see module docstring)."""
+
+    #: Rounds of attr-type / param-type propagation before edges are
+    #: collected.  Chains in the tree are short (Simulation -> Processor
+    #: -> _HWContext is the deepest); four rounds reaches a fixpoint.
+    ROUNDS = 4
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+        self.ambiguous_classes: set[str] = set()
+        self.functions: dict[FuncKey, FuncInfo] = {}
+        #: (class, attribute) -> inferred type of the instance attribute.
+        self.attr_types: dict[tuple[str, str], TypeRef] = {}
+        self._attr_conflicts: set[tuple[str, str]] = set()
+        #: method name -> owning class names (for the unique fallback).
+        self._method_owners: dict[str, set[str]] = {}
+        #: module-level function name -> keys (unique name -> resolvable).
+        self._module_funcs: dict[str, list[FuncKey]] = {}
+        #: per-file import aliases: relpath -> names bound by imports.
+        self._imported_names: dict[str, set[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: list[FileContext]) -> CallGraph:
+        graph = cls()
+        for ctx in files:
+            graph._index_file(ctx)
+        for _ in range(cls.ROUNDS):
+            for info in graph.functions.values():
+                graph._infer_types(info, propagate=True)
+        for info in graph.functions.values():
+            graph._collect_calls(info)
+        return graph
+
+    @staticmethod
+    def for_engine(engine: LintEngine) -> CallGraph:
+        """Build (or reuse) the graph for an engine run."""
+        cached = getattr(engine, "_callgraph_cache", None)
+        if isinstance(cached, CallGraph):
+            return cached
+        graph = CallGraph.build(engine.files)
+        engine._callgraph_cache = graph  # type: ignore[attr-defined]
+        return graph
+
+    def _index_file(self, ctx: FileContext) -> None:
+        relpath = ctx.relpath
+        imported: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imported.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    imported.add(alias.asname or alias.name)
+        self._imported_names[relpath] = imported
+        assert isinstance(ctx.tree, ast.Module)
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = (relpath, "", node.name)
+                self.functions[key] = FuncInfo(key, node, relpath, "",
+                                               node.name)
+                self._module_funcs.setdefault(node.name, []).append(key)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(relpath, node)
+
+    def _index_class(self, relpath: str, node: ast.ClassDef) -> None:
+        name = node.name
+        if name in self.classes:
+            self.ambiguous_classes.add(name)
+        bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+        info = ClassInfo(name, relpath, bases)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = (relpath, name, item.name)
+                info.methods[item.name] = key
+                self.functions[key] = FuncInfo(key, item, relpath, name,
+                                               item.name)
+                self._method_owners.setdefault(item.name, set()).add(name)
+            elif isinstance(item, ast.AnnAssign) and \
+                    isinstance(item.target, ast.Name):
+                # Dataclass-style field annotation.
+                ref = self._annotation_type(item.annotation)
+                if ref is not None:
+                    self._record_attr(name, item.target.id, ref)
+        if name not in self.classes:
+            self.classes[name] = info
+        else:  # duplicate name: keep the first, but merge method owners
+            pass
+
+    # -- type inference ----------------------------------------------------
+
+    def _class_ref(self, name: str) -> str | None:
+        if name in self.classes and name not in self.ambiguous_classes:
+            return name
+        return None
+
+    def _record_attr(self, cls: str, attr: str, ref: TypeRef) -> None:
+        key = (cls, attr)
+        if key in self._attr_conflicts:
+            return
+        known = self.attr_types.get(key)
+        if known is None:
+            self.attr_types[key] = ref
+        elif known != ref:
+            del self.attr_types[key]
+            self._attr_conflicts.add(key)
+
+    def _annotation_type(self, node: ast.expr | None) -> TypeRef | None:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            cls = self._class_ref(node.id)
+            return ("inst", cls) if cls else None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            cls = self._class_ref(node.value)
+            return ("inst", cls) if cls else None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return (self._annotation_type(node.left)
+                    or self._annotation_type(node.right))
+        if isinstance(node, ast.Subscript) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id in ("list", "List"):
+            inner = self._annotation_type(node.slice)
+            if inner is not None and inner[0] == "inst":
+                return ("list", inner[1])
+        return None
+
+    def method_lookup(self, cls: str, name: str,
+                      _seen: frozenset[str] = frozenset()) -> FuncKey | None:
+        """Find *name* on class *cls* or (depth-first) its bases."""
+        info = self.classes.get(cls)
+        if info is None or cls in _seen:
+            return None
+        key = info.methods.get(name)
+        if key is not None:
+            return key
+        seen = _seen | {cls}
+        for base in info.bases:
+            found = self.method_lookup(base, name, seen)
+            if found is not None:
+                return found
+        return None
+
+    def _build_env(self, info: FuncInfo) -> dict[str, TypeRef]:
+        """Local name -> type environment for one function."""
+        env: dict[str, TypeRef] = {}
+        node = info.node
+        if info.class_name and node.args.args:
+            env[node.args.args[0].arg] = ("inst", info.class_name)
+        params = node.args.args + node.args.kwonlyargs
+        for arg in params:
+            if arg.arg in env:
+                continue
+            ref = self._annotation_type(arg.annotation)
+            if ref is None:
+                ref_p = info.param_types.get(arg.arg)
+                if ref_p is not None:
+                    ref = ref_p
+            if ref is not None:
+                env[arg.arg] = ref
+        # Two passes so a name assigned after first use still resolves.
+        for _ in range(2):
+            for stmt in ast.walk(node):
+                self._bind_stmt(stmt, env, info)
+        return env
+
+    def _bind_stmt(self, stmt: ast.AST, env: dict[str, TypeRef],
+                   info: FuncInfo) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            ref = self._resolve_expr(stmt.value, env, info)
+            if isinstance(target, ast.Name):
+                if ref is not None:
+                    env[target.id] = ref
+            elif self._is_self_attr(target, info) and ref is not None:
+                assert isinstance(target, ast.Attribute)
+                self._record_attr(info.class_name, target.attr, ref)
+        elif isinstance(stmt, ast.AnnAssign):
+            ref = self._annotation_type(stmt.annotation)
+            if ref is None and stmt.value is not None:
+                ref = self._resolve_expr(stmt.value, env, info)
+            if ref is None:
+                return
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = ref
+            elif self._is_self_attr(stmt.target, info):
+                assert isinstance(stmt.target, ast.Attribute)
+                self._record_attr(info.class_name, stmt.target.attr, ref)
+        elif isinstance(stmt, ast.For):
+            self._bind_loop_target(stmt.target, stmt.iter, env, info)
+        elif isinstance(stmt, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in stmt.generators:
+                self._bind_loop_target(gen.target, gen.iter, env, info)
+
+    def _bind_loop_target(self, target: ast.expr, iter_: ast.expr,
+                          env: dict[str, TypeRef], info: FuncInfo) -> None:
+        # `for x in <list of C>` and `for i, x in enumerate(<list of C>)`.
+        if isinstance(iter_, ast.Call) and \
+                isinstance(iter_.func, ast.Name) and \
+                iter_.func.id == "enumerate" and iter_.args:
+            ref = self._resolve_expr(iter_.args[0], env, info)
+            if ref is not None and ref[0] == "list" and \
+                    isinstance(target, ast.Tuple) and \
+                    len(target.elts) == 2 and \
+                    isinstance(target.elts[1], ast.Name):
+                env[target.elts[1].id] = ("inst", ref[1])
+            return
+        ref = self._resolve_expr(iter_, env, info)
+        if ref is not None and ref[0] == "list" and \
+                isinstance(target, ast.Name):
+            env[target.id] = ("inst", ref[1])
+
+    def _is_self_attr(self, node: ast.expr, info: FuncInfo) -> bool:
+        return (bool(info.class_name)
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self")
+
+    def _resolve_expr(self, node: ast.expr, env: dict[str, TypeRef],
+                      info: FuncInfo) -> TypeRef | None:
+        if isinstance(node, ast.Name):
+            ref = env.get(node.id)
+            if ref is not None:
+                return ref
+            cls = self._class_ref(node.id)
+            if cls is not None:
+                return ("class", cls)
+            if node.id in self._imported_names.get(info.relpath, set()):
+                return ("mod", node.id)
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self._resolve_expr(node.value, env, info)
+            if base is None:
+                return None
+            if base[0] == "inst":
+                attr_ref = self.attr_types.get((base[1], node.attr))
+                if attr_ref is not None:
+                    return attr_ref
+                key = self.method_lookup(base[1], node.attr)
+                if key is not None:
+                    return ("bound", base[1], node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            func_ref = self._resolve_expr(node.func, env, info)
+            if func_ref is not None and func_ref[0] == "class":
+                return ("inst", func_ref[1])
+            return None
+        if isinstance(node, ast.Subscript):
+            base = self._resolve_expr(node.value, env, info)
+            if base is not None and base[0] == "list":
+                return ("inst", base[1])
+            return None
+        if isinstance(node, ast.IfExp):
+            return (self._resolve_expr(node.body, env, info)
+                    or self._resolve_expr(node.orelse, env, info))
+        if isinstance(node, (ast.List, ast.ListComp)):
+            elts = node.elts if isinstance(node, ast.List) \
+                else [node.elt]
+            classes = set()
+            for elt in elts:
+                ref = self._resolve_expr(elt, env, info)
+                if ref is None or ref[0] != "inst":
+                    return None
+                classes.add(ref[1])
+            if len(classes) == 1:
+                return ("list", classes.pop())
+            return None
+        return None
+
+    def _infer_types(self, info: FuncInfo, propagate: bool) -> None:
+        """One round: rebuild the env (recording ``self.x`` attr types)
+        and push argument types into resolvable callees' parameters."""
+        env = self._build_env(info)
+        if not propagate:
+            return
+        for call in ast.walk(info.node):
+            if not isinstance(call, ast.Call):
+                continue
+            callee, skip_self = self._resolve_callee(call, env, info)
+            if callee is None:
+                continue
+            target = self.functions.get(callee)
+            if target is None:
+                continue
+            params = [a.arg for a in target.node.args.args]
+            if skip_self and params:
+                params = params[1:]
+            for i, arg in enumerate(call.args):
+                if i >= len(params):
+                    break
+                self._propose_param(target, params[i], arg, env, info)
+            for kw in call.keywords:
+                if kw.arg is not None and kw.arg in params:
+                    self._propose_param(target, kw.arg, kw.value, env, info)
+
+    def _propose_param(self, target: FuncInfo, param: str,
+                       value: ast.expr, env: dict[str, TypeRef],
+                       info: FuncInfo) -> None:
+        ref = self._resolve_expr(value, env, info)
+        if ref is None or ref[0] not in ("inst", "list"):
+            return
+        known = target.param_types.get(param)
+        if known is None:
+            target.param_types[param] = ref
+        elif known != ref:  # conflicting call sites: forget the guess
+            target.param_types[param] = ("conflict",)
+
+    # -- call collection ---------------------------------------------------
+
+    def _resolve_callee(self, call: ast.Call, env: dict[str, TypeRef],
+                        info: FuncInfo) -> tuple[FuncKey | None, bool]:
+        """Resolve a call node to (callee key, receiver-call flag)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            ref = env.get(func.id)
+            if ref is not None:
+                if ref[0] == "bound":
+                    return self.method_lookup(ref[1], ref[2]), True
+                if ref[0] == "func":
+                    return (ref[1], "", ref[2]), False
+            cls = self._class_ref(func.id)
+            if cls is not None:
+                return self.method_lookup(cls, "__init__"), True
+            local = (info.relpath, "", func.id)
+            if local in self.functions:
+                return local, False
+            keys = self._module_funcs.get(func.id, [])
+            if len(keys) == 1:
+                return keys[0], False
+            return None, False
+        if isinstance(func, ast.Attribute):
+            base = self._resolve_expr(func.value, env, info)
+            if base is not None and base[0] == "inst":
+                key = self.method_lookup(base[1], func.attr)
+                if key is not None:
+                    return key, True
+                return self._unique_method(func.attr), True
+            if base is not None and base[0] == "class":
+                return self.method_lookup(base[1], func.attr), True
+            if base is not None and base[0] == "mod":
+                keys = self._module_funcs.get(func.attr, [])
+                if len(keys) == 1:
+                    return keys[0], False
+                return None, False
+            return self._unique_method(func.attr), True
+        return None, False
+
+    def _unique_method(self, name: str) -> FuncKey | None:
+        """Last-resort by-name binding: exactly one owner, uncommon name."""
+        if name.startswith("__") or name in _COMMON_METHOD_NAMES:
+            return None
+        owners = self._method_owners.get(name, set())
+        if len(owners) != 1:
+            return None
+        return self.method_lookup(next(iter(owners)), name)
+
+    def _collect_calls(self, info: FuncInfo) -> None:
+        env = self._build_env(info)
+        sites: list[CallSite] = []
+
+        def walk(node: ast.AST, depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth
+                if isinstance(child, (ast.For, ast.While)):
+                    child_depth = depth + 1
+                if isinstance(child, ast.Call):
+                    callee, _ = self._resolve_callee(child, env, info)
+                    if callee is not None and callee in self.functions:
+                        sites.append(CallSite(callee, child.lineno, depth))
+                walk(child, child_depth)
+
+        walk(info.node, 0)
+        info.calls = sites
+
+    # -- queries -----------------------------------------------------------
+
+    def resolve_spec(self, spec: str) -> list[FuncKey]:
+        """Resolve ``Class.method`` or a bare module-function name."""
+        if "." in spec:
+            cls, _, meth = spec.partition(".")
+            key = self.method_lookup(cls, meth)
+            return [key] if key is not None else []
+        return list(self._module_funcs.get(spec, []))
+
+    def hot_set(self, loop_roots: tuple[str, ...],
+                func_roots: tuple[str, ...]) -> dict[FuncKey, str]:
+        """Transitive per-cycle hot set from the named roots.
+
+        Returns ``key -> "full" | "loops"``: a ``loops`` entry is hot
+        only inside its own ``for``/``while`` bodies (the per-cycle loop
+        of a tier driver); a ``full`` entry is hot throughout (it is
+        *called* per cycle).  Edges out of a ``loops`` function only
+        propagate from call sites inside a loop.
+        """
+        hot: dict[FuncKey, str] = {}
+        queue: list[FuncKey] = []
+        for spec in loop_roots:
+            for key in self.resolve_spec(spec):
+                hot[key] = "loops"
+                queue.append(key)
+        for spec in func_roots:
+            for key in self.resolve_spec(spec):
+                hot[key] = "full"
+                queue.append(key)
+        while queue:
+            key = queue.pop()
+            info = self.functions.get(key)
+            if info is None:
+                continue
+            mode = hot[key]
+            for site in info.calls:
+                if mode == "loops" and site.depth == 0:
+                    continue
+                if hot.get(site.callee) == "full":
+                    continue
+                hot[site.callee] = "full"
+                queue.append(site.callee)
+        return hot
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Serializable dump for ``repro lint --dump-callgraph``."""
+        functions: dict[str, dict[str, object]] = {}
+        for key in sorted(self.functions):
+            info = self.functions[key]
+            functions[info.label] = {
+                "line": info.node.lineno,
+                "calls": sorted({
+                    self.functions[s.callee].label
+                    for s in info.calls if s.callee in self.functions}),
+            }
+        return {
+            "classes": sorted(self.classes),
+            "functions": functions,
+        }

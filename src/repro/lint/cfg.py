@@ -1,0 +1,261 @@
+"""Per-function control-flow graphs with exception edges.
+
+A deliberately small statement-level CFG, built for path queries of the
+form "does every path from statement A to a function exit pass through
+one of statements B?" -- which is exactly what the span-pairing rule
+(E101) needs to prove that a ``_span_begin`` is always answered by a
+``_span_end``.
+
+Modeled control flow:
+
+* sequential statement order, ``if``/``elif``/``else`` branching,
+  ``for``/``while`` loops (with ``else`` clauses, ``break``,
+  ``continue``),
+* ``return`` edges to the normal exit,
+* exception edges: an explicit ``raise`` jumps to the innermost
+  matching construct -- ``except`` handlers, then ``finally`` blocks,
+  then the *raise exit* of the function; statements inside a ``try``
+  body additionally edge to their handlers/``finally`` (any statement
+  in a ``try`` may raise -- that is why it is in a ``try``),
+* ``finally`` blocks are on every path out of their ``try``.
+
+Implicit exceptions *outside* any ``try`` are not modeled: treating
+every call as a potential raise would make every lexical pairing a
+violation.  The runtime span asserts cover that residue; the static
+rule proves the structured control flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Node ids for the two synthetic exits.
+EXIT = -1        #: normal exit: return or falling off the end
+RAISE_EXIT = -2  #: exception exit: an uncaught raise leaves the function
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    #: node id -> AST statement (ids are insertion-ordered ints).
+    nodes: dict[int, ast.stmt] = field(default_factory=dict)
+    #: node id -> successor node ids (EXIT / RAISE_EXIT are virtual).
+    edges: dict[int, list[int]] = field(default_factory=dict)
+    entry: list[int] = field(default_factory=list)
+
+    def successors(self, nid: int) -> list[int]:
+        return self.edges.get(nid, [])
+
+    def node_for(self, stmt: ast.stmt) -> int | None:
+        for nid, node in self.nodes.items():
+            if node is stmt:
+                return nid
+        return None
+
+    def paths_escape(self, start: int, barriers: set[int]) -> int | None:
+        """First exit reachable from *start* without crossing a barrier.
+
+        Returns EXIT or RAISE_EXIT when some path from *start* reaches
+        that exit without passing through any node in *barriers*, else
+        None (every path is cut by a barrier).  *start* itself is not a
+        barrier; exploration starts at its successors.
+        """
+        seen: set[int] = set()
+        stack = list(self.successors(start))
+        while stack:
+            nid = stack.pop()
+            if nid in seen or nid in barriers:
+                continue
+            if nid in (EXIT, RAISE_EXIT):
+                return nid
+            seen.add(nid)
+            stack.extend(self.successors(nid))
+        return None
+
+
+class _Builder:
+    """Builds a :class:`CFG` from a function body."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._next = 0
+        #: innermost-first (break targets, continue targets) for loops.
+        self._loops: list[tuple[list[int], int]] = []
+        #: innermost-first exception landing pads: node lists a raise
+        #: inside the region jumps to (handler heads + finally head).
+        self._pads: list[list[int]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        entry, exits = self._block(body)
+        self.cfg.entry = entry
+        for nid in exits:
+            self._edge(nid, EXIT)
+        return self.cfg
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _new(self, stmt: ast.stmt) -> int:
+        nid = self._next
+        self._next += 1
+        self.cfg.nodes[nid] = stmt
+        self.cfg.edges.setdefault(nid, [])
+        return nid
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.edges.setdefault(src, [])
+        if dst not in self.cfg.edges[src]:
+            self.cfg.edges[src].append(dst)
+
+    def _raise_targets(self) -> list[int]:
+        """Where control lands when the current statement raises."""
+        if self._pads:
+            return self._pads[-1]
+        return [RAISE_EXIT]
+
+    # -- recursive block construction --------------------------------------
+
+    def _block(self, body: list[ast.stmt]) -> tuple[list[int], list[int]]:
+        """Wire one statement list; returns (entry ids, open exits)."""
+        entry: list[int] = []
+        open_exits: list[int] = []
+        first = True
+        for stmt in body:
+            heads, tails = self._stmt(stmt)
+            if first:
+                entry = heads
+                first = False
+            else:
+                for t in open_exits:
+                    for h in heads:
+                        self._edge(t, h)
+            open_exits = tails
+            if not heads:  # unreachable continuation (e.g. after return)
+                break
+        return entry, open_exits
+
+    def _stmt(self, stmt: ast.stmt) -> tuple[list[int], list[int]]:
+        """Wire one statement; returns (entry ids, fallthrough exits)."""
+        nid = self._new(stmt)
+        if isinstance(stmt, ast.Return):
+            self._edge(nid, EXIT)
+            return [nid], []
+        if isinstance(stmt, ast.Raise):
+            for target in self._raise_targets():
+                self._edge(nid, target)
+            return [nid], []
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][0].append(nid)
+            return [nid], []
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(nid, self._loops[-1][1])
+            return [nid], []
+        if isinstance(stmt, ast.If):
+            then_entry, then_exits = self._block(stmt.body)
+            for h in then_entry:
+                self._edge(nid, h)
+            exits = list(then_exits)
+            if stmt.orelse:
+                else_entry, else_exits = self._block(stmt.orelse)
+                for h in else_entry:
+                    self._edge(nid, h)
+                exits.extend(else_exits)
+            else:
+                exits.append(nid)
+            return [nid], exits
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: list[int] = []
+            self._loops.append((breaks, nid))
+            body_entry, body_exits = self._block(stmt.body)
+            self._loops.pop()
+            for h in body_entry:
+                self._edge(nid, h)
+            for t in body_exits:
+                self._edge(t, nid)  # back edge
+            exits = list(breaks)
+            if stmt.orelse:
+                else_entry, else_exits = self._block(stmt.orelse)
+                for h in else_entry:
+                    self._edge(nid, h)
+                exits.extend(else_exits)
+            else:
+                exits.append(nid)  # loop condition goes false / iter ends
+            return [nid], exits
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_entry, body_exits = self._block(stmt.body)
+            for h in body_entry:
+                self._edge(nid, h)
+            return [nid], body_exits
+        if isinstance(stmt, ast.Try):
+            return self._try(nid, stmt)
+        # Plain statement: if inside a try, it may raise into the pads.
+        if self._pads:
+            for target in self._pads[-1]:
+                self._edge(nid, target)
+        return [nid], [nid]
+
+    def _try(self, nid: int, stmt: ast.Try) -> tuple[list[int], list[int]]:
+        # Build handler and finally blocks first so the body's pad edges
+        # have landing nodes to point at.
+        handler_blocks = [self._block(h.body) for h in stmt.handlers]
+        final_entry: list[int] = []
+        final_exits: list[int] = []
+        if stmt.finalbody:
+            final_entry, final_exits = self._block(stmt.finalbody)
+
+        pads = [h for entry, _ in handler_blocks for h in entry]
+        if not pads:
+            pads = final_entry or [RAISE_EXIT]
+        self._pads.append(pads)
+        body_entry, body_exits = self._block(stmt.body)
+        self._pads.pop()
+        for h in body_entry:
+            self._edge(nid, h)
+
+        exits: list[int] = list(body_exits)
+        if stmt.orelse:
+            else_entry, else_exits = self._block(stmt.orelse)
+            for t in body_exits:
+                for h in else_entry:
+                    self._edge(t, h)
+            exits = list(else_exits)
+        # A handler that does not re-raise falls through.
+        for _, h_exits in handler_blocks:
+            exits.extend(h_exits)
+        if stmt.finalbody:
+            for t in exits:
+                for h in final_entry:
+                    self._edge(t, h)
+            # The finally also runs on the exception path out of a
+            # handler-less try (already wired via pads) and re-raises.
+            return [nid], final_exits
+        return [nid], exits
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The CFG of *func*'s own body (nested defs are opaque statements)."""
+    return _Builder().build(func.body)
+
+
+def all_paths_hit(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                  start_stmt: ast.stmt,
+                  barrier_stmts: list[ast.stmt]) -> int | None:
+    """Check that every path from *start_stmt* to any function exit
+    passes through one of *barrier_stmts*.
+
+    Returns None when the property holds, else the exit kind that is
+    reachable barrier-free (EXIT or RAISE_EXIT).
+    """
+    cfg = build_cfg(func)
+    start = cfg.node_for(start_stmt)
+    if start is None:
+        return EXIT
+    barriers = set()
+    for stmt in barrier_stmts:
+        nid = cfg.node_for(stmt)
+        if nid is not None:
+            barriers.add(nid)
+    return cfg.paths_escape(start, barriers)

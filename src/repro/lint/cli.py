@@ -6,20 +6,26 @@ argparse plumbing, and the top-level CLI stays a thin dispatcher.
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 import sys
+from typing import Any
 
 from repro.lint.baseline import (DEFAULT_BASELINE, load_baseline,
                                  write_baseline)
-from repro.lint.engine import LintEngine, findings_to_json, render_report
+from repro.lint.callgraph import CallGraph
+from repro.lint.engine import (FAMILIES, LintEngine, findings_to_json,
+                               render_report)
 from repro.lint.rules_probes import ProbeRules, write_manifest
 from repro.lint.rules_schema import SchemaRules, write_shapes
+from repro.lint.sarif import write_sarif
 
 #: Default scan root, relative to the invocation directory.
 DEFAULT_ROOT = "src/repro"
 
 
-def add_parser(sub) -> None:
+def add_parser(sub: Any) -> None:
     p = sub.add_parser(
         "lint",
         help="static invariant checks: determinism, probe hygiene, "
@@ -28,9 +34,10 @@ def add_parser(sub) -> None:
                    help=f"directory (or file) to scan (default: "
                         f"{DEFAULT_ROOT}, falling back to the package "
                         "source when run elsewhere)")
-    p.add_argument("--rule", action="append", default=None, metavar="ID",
-                   help="run only these rules (exact id or family prefix, "
-                        "e.g. --rule D --rule S101); repeatable")
+    p.add_argument("--rule", action="append", default=None, metavar="IDS",
+                   help="run only these rules: exact ids or family "
+                        "prefixes, comma-separated (e.g. --rule D,H or "
+                        "--rule H101,E102); repeatable")
     p.add_argument("--baseline", default=None, metavar="FILE",
                    help="baseline file of grandfathered findings "
                         f"(default: {DEFAULT_BASELINE} next to the scan "
@@ -44,9 +51,24 @@ def add_parser(sub) -> None:
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write a machine-readable findings report "
                         "('-' for stdout)")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="write a SARIF 2.1.0 report (for GitHub code "
+                        "scanning / PR annotations)")
+    p.add_argument("--dump-callgraph", default=None, metavar="FILE",
+                   help="write the resolved whole-program call graph "
+                        "as JSON ('-' for stdout)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(func=run_lint)
+
+
+def _selected_rules(args: argparse.Namespace) -> list[str] | None:
+    """Flatten repeatable, comma-separated ``--rule`` arguments."""
+    if not args.rule:
+        return None
+    ids = [part.strip() for arg in args.rule for part in arg.split(",")
+           if part.strip()]
+    return ids or None
 
 
 def _resolve_root(arg: str | None) -> pathlib.Path:
@@ -62,18 +84,25 @@ def _resolve_root(arg: str | None) -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parent.parent
 
 
-def run_lint(args) -> int:
+def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
+        groups: dict[str, list] = {}
         for rule in LintEngine(pathlib.Path(".")).rules:
             if rule.id.endswith("00"):  # internal collectors
                 continue
-            print(f"  {rule.id}  {rule.title}")
+            groups.setdefault(rule.id[0], []).append(rule)
+        for family in sorted(groups):
+            title = FAMILIES.get(family, "other")
+            print(f"{family}: {title}")
+            for rule in sorted(groups[family], key=lambda r: r.id):
+                print(f"  {rule.id}  {rule.title}")
         return 0
 
+    selected = _selected_rules(args)
     root = _resolve_root(args.root)
     engine = LintEngine(root)
-    if args.rule:
-        engine.select(args.rule)
+    if selected:
+        engine.select(selected)
     findings = engine.run()
 
     if args.update:
@@ -84,9 +113,18 @@ def run_lint(args) -> int:
                 print(f"wrote {write_shapes(root, rule)}")
         # Re-run: drift findings must now be gone, the rest still count.
         engine = LintEngine(root)
-        if args.rule:
-            engine.select(args.rule)
+        if selected:
+            engine.select(selected)
         findings = engine.run()
+
+    if args.dump_callgraph:
+        graph = CallGraph.for_engine(engine)
+        text = json.dumps(graph.to_json_dict(), indent=2, sort_keys=True)
+        if args.dump_callgraph == "-":
+            print(text)
+        else:
+            pathlib.Path(args.dump_callgraph).write_text(text + "\n")
+            print(f"wrote {args.dump_callgraph}", file=sys.stderr)
 
     baseline_path = pathlib.Path(
         args.baseline if args.baseline else DEFAULT_BASELINE)
@@ -98,6 +136,10 @@ def run_lint(args) -> int:
     baseline = load_baseline(baseline_path)
     new, old = baseline.split(findings)
     new_keys = {f.key for f in new}
+    if args.sarif:
+        path = write_sarif(pathlib.Path(args.sarif), findings,
+                           engine.rules, root, new_keys)
+        print(f"wrote {path}", file=sys.stderr)
     if args.json:
         text = findings_to_json(findings, new_keys)
         if args.json == "-":
@@ -109,14 +151,17 @@ def run_lint(args) -> int:
             return 1 if new else 0
         pathlib.Path(args.json).write_text(text + "\n")
         print(f"wrote {args.json}", file=sys.stderr)
+    # Keep stdout pure when the call graph was dumped there.
+    report_out = sys.stderr if args.dump_callgraph == "-" else sys.stdout
     if findings:
-        print(render_report(findings, new_keys, baselined=len(old)))
+        print(render_report(findings, new_keys, baselined=len(old)),
+              file=report_out)
     else:
         scanned = len(engine.files)
         print(f"repro lint: clean ({scanned} files, "
-              f"{len(engine.rules)} rules)")
+              f"{len(engine.rules)} rules)", file=report_out)
     stale = sum(baseline.counts.values()) - len(old)
     if stale > 0:
         print(f"note: {stale} baselined finding(s) no longer occur; "
-              "shrink the baseline with --update-baseline")
+              "shrink the baseline with --update-baseline", file=report_out)
     return 1 if new else 0

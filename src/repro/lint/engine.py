@@ -184,12 +184,25 @@ class LintEngine:
         return None
 
 
+#: Family prefix -> human name, used to group ``--list-rules`` output.
+FAMILIES = {
+    "D": "determinism",
+    "E": "span/event/timeline discipline",
+    "F": "process-boundary / fault discipline",
+    "H": "hot-path performance",
+    "P": "probe hygiene",
+    "S": "schema / fingerprint drift",
+}
+
+
 def default_rules() -> list[Rule]:
     """A fresh instance of every built-in rule, ordered by id."""
-    from repro.lint import rules_determinism, rules_probes, rules_schema
+    from repro.lint import (rules_determinism, rules_events, rules_faults,
+                            rules_hotpath, rules_probes, rules_schema)
 
     rules: list[Rule] = []
-    for module in (rules_determinism, rules_probes, rules_schema):
+    for module in (rules_determinism, rules_events, rules_faults,
+                   rules_hotpath, rules_probes, rules_schema):
         rules.extend(module.rules())
     return sorted(rules, key=lambda r: r.id)
 

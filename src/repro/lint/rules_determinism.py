@@ -28,8 +28,12 @@ D105          ``id()`` used as a sort key (CPython addresses vary
 from __future__ import annotations
 
 import ast
+from typing import TYPE_CHECKING, Any
 
 from repro.lint.engine import FileContext, Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import LintEngine
 
 #: Host-side modules where wall-clock reads are the whole point:
 #: self-profiling, perf baselining, live progress, and worker timing.
@@ -58,7 +62,8 @@ _ORDER_INSENSITIVE = frozenset({
 })
 
 
-def _import_aliases(tree: ast.AST) -> tuple[dict, dict]:
+def _import_aliases(tree: ast.AST) \
+        -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
     """Module aliases in a file.
 
     Returns ``(modules, members)``: ``modules`` maps a local name to the
@@ -79,7 +84,9 @@ def _import_aliases(tree: ast.AST) -> tuple[dict, dict]:
     return modules, members
 
 
-def _call_target(node: ast.Call, modules: dict, members: dict):
+def _call_target(node: ast.Call, modules: dict[str, str],
+                 members: dict[str, tuple[str, str]]) \
+        -> tuple[str, str] | None:
     """Resolve a call to ``(module, attr)`` when statically possible.
 
     Handles ``mod.fn()``, ``mod.cls.fn()`` (returned as
@@ -132,7 +139,7 @@ class UnseededRandomRule(Rule):
                     "use the per-run random.Random(seed) instance",
                     ident=f"random.{attr}"))
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         return self.findings
 
 
@@ -171,7 +178,7 @@ class WallClockRule(Rule):
                     + ", ".join(self.allowlist) + ")",
                     ident=f"{module}.{attr}"))
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         return self.findings
 
 
@@ -216,13 +223,13 @@ class _IterationRule(Rule):
     def __init__(self) -> None:
         self.findings: list[Finding] = []
 
-    def matches(self, node: ast.AST, ctx_state) -> bool:  # pragma: no cover
+    def matches(self, node: ast.AST, ctx_state: Any) -> bool:  # pragma: no cover
         raise NotImplementedError
 
     def describe(self, node: ast.AST) -> tuple[str, str]:  # pragma: no cover
         raise NotImplementedError
 
-    def _state(self, ctx: FileContext):
+    def _state(self, ctx: FileContext) -> Any:
         return None
 
     def visit_file(self, ctx: FileContext) -> None:
@@ -250,7 +257,7 @@ class _IterationRule(Rule):
                 message, ident = self.describe(expr)
                 self.findings.append(self.finding(ctx, site, message, ident))
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         return self.findings
 
 
@@ -260,10 +267,10 @@ class SetIterationRule(_IterationRule):
     id = "D103"
     title = "iteration over unordered set"
 
-    def matches(self, node, state) -> bool:
+    def matches(self, node: Any, state: Any) -> bool:
         return _is_set_expr(node)
 
-    def describe(self, node) -> tuple[str, str]:
+    def describe(self, node: Any) -> tuple[str, str]:
         return ("iterating a set/frozenset value: element order varies "
                 "with hash randomization; wrap in sorted(...)",
                 "set-iteration")
@@ -275,14 +282,14 @@ class FsOrderRule(_IterationRule):
     id = "D104"
     title = "unsorted filesystem listing"
 
-    def _state(self, ctx: FileContext):
+    def _state(self, ctx: FileContext) -> Any:
         return _import_aliases(ctx.tree)
 
-    def matches(self, node, state) -> bool:
+    def matches(self, node: Any, state: Any) -> bool:
         modules, members = state
         return _is_listing_call(node, modules, members)
 
-    def describe(self, node) -> tuple[str, str]:
+    def describe(self, node: Any) -> tuple[str, str]:
         name = node.func.attr if isinstance(node.func, ast.Attribute) \
             else getattr(node.func, "id", "listing")
         return (f"iterating {name}(...) results directly: filesystem "
@@ -329,7 +336,7 @@ class IdSortRule(Rule):
                         "vary per process; key on stable data instead",
                         ident="id-sort-key"))
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         return self.findings
 
 

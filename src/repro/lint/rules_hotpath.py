@@ -1,0 +1,206 @@
+"""H rules: hot-path performance lint.
+
+The simulator's throughput lives in a handful of per-cycle functions
+(ROADMAP item 2).  These rules compute the *transitive hot set* from
+the per-cycle roots -- the detailed loop (``Simulation._run_once``),
+the fast-functional loop (``engine._fast_once``), the processor
+fetch/issue/retire path, the interval-timeline tick, and the
+attribution charge points -- over the shared call graph
+(:mod:`repro.lint.callgraph`), then flag allocation and dispatch churn
+inside it:
+
+=====  =====================================================
+H101   comprehension / generator expression per cycle
+H102   string formatting (f-string, ``%``, ``.format``) per cycle
+H103   dict/list/set literal per cycle
+H104   closure or ``lambda`` creation per cycle
+H105   ``try`` entered per cycle
+H106   deep ``a.b.c.d`` attribute chain re-resolved per cycle
+=====  =====================================================
+
+Severity is weighted by loop depth: every finding carries an ``xN``
+weight, where N counts how many per-cycle loop levels enclose the
+construct (a full hot function's straight-line body is x1; each
+``for``/``while`` inside it adds one).  The two tier-driver roots are
+*loop roots*: only code inside their cycle loops is hot, so their
+prologues (run once per leg) stay clean.
+
+These rules are expected to carry debt on a real tree -- that is what
+the ``--baseline`` ratchet is for: existing findings are frozen in
+``lint-baseline.json`` and only *new* churn fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.lint.callgraph import CallGraph, FuncKey
+from repro.lint.engine import Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import FileContext, LintEngine
+
+#: Tier-driver roots: hot only inside their own cycle loops.
+LOOP_ROOTS = ("Simulation._run_once", "_fast_once")
+
+#: Per-cycle roots: called once (or more) per simulated cycle, hot
+#: throughout their bodies.
+FUNC_ROOTS = (
+    "Processor.cycle",
+    "ProbeTimeline.tick",
+    "Attribution.switch",
+    "Attribution.path_of",
+    "SimStats.charge_cycle",
+    "SimStats.charge_cycles",
+    "SimStats.retire",
+    "SimStats.retire_bulk",
+)
+
+
+class _HotScan:
+    """Shared per-engine-run scan: hot set + flagged constructs."""
+
+    def __init__(self) -> None:
+        self.done = False
+        self.graph: CallGraph | None = None
+        self.hot: dict[FuncKey, str] = {}
+        #: rule id -> list of (ctx, node, message, ident)
+        self.sites: dict[str, list[tuple[FileContext, ast.AST, str, str]]] \
+            = {}
+
+    def ensure(self, engine: LintEngine) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.graph = CallGraph.for_engine(engine)
+        self.hot = self.graph.hot_set(LOOP_ROOTS, FUNC_ROOTS)
+        by_path = {ctx.relpath: ctx for ctx in engine.files}
+        for key, mode in sorted(self.hot.items()):
+            info = self.graph.functions.get(key)
+            ctx = by_path.get(key[0])
+            if info is None or ctx is None:
+                continue
+            self._scan_function(ctx, info.node, info.qualname, mode)
+
+    def _flag(self, rule: str, ctx: FileContext, node: ast.AST,
+              what: str, qualname: str, weight: int) -> None:
+        message = (f"{what} on the per-cycle hot path "
+                   f"in `{qualname}` (weight x{weight})")
+        ident = f"{qualname}:x{weight}"
+        self.sites.setdefault(rule, []).append((ctx, node, message, ident))
+
+    def _scan_function(self, ctx: FileContext, func: ast.AST,
+                       qualname: str, mode: str) -> None:
+        """Walk one hot function, flagging churn constructs.
+
+        *mode* ``"full"``: the whole body runs per cycle (weight =
+        1 + loop depth).  *mode* ``"loops"``: only loop bodies are hot
+        (weight = loop depth; depth-0 constructs are skipped).
+        """
+        base = 1 if mode == "full" else 0
+
+        def walk(node: ast.AST, depth: int) -> None:
+            # Chains are flagged whole at their outermost Attribute.
+            in_chain = isinstance(node, ast.Attribute)
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth
+                if isinstance(child, (ast.For, ast.While)):
+                    child_depth = depth + 1
+                weight = base + depth
+                if weight > 0 and not (in_chain
+                                       and isinstance(child, ast.Attribute)):
+                    self._check(ctx, child, qualname, weight, depth)
+                walk(child, child_depth)
+
+        walk(func, 0)
+
+    def _check(self, ctx: FileContext, node: ast.AST, qualname: str,
+               weight: int, depth: int) -> None:
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            kind = {"ListComp": "list comprehension",
+                    "SetComp": "set comprehension",
+                    "DictComp": "dict comprehension",
+                    "GeneratorExp": "generator expression"}[
+                        type(node).__name__]
+            self._flag("H101", ctx, node, f"{kind} allocated", qualname,
+                       weight)
+        elif isinstance(node, ast.JoinedStr):
+            if any(isinstance(v, ast.FormattedValue) for v in node.values):
+                self._flag("H102", ctx, node, "f-string formatted",
+                           qualname, weight)
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod) \
+                and isinstance(node.left, ast.Constant) \
+                and isinstance(node.left.value, str):
+            self._flag("H102", ctx, node, "%-formatting", qualname, weight)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "format" \
+                and isinstance(node.func.value, ast.Constant) \
+                and isinstance(node.func.value.value, str):
+            self._flag("H102", ctx, node, "str.format call", qualname,
+                       weight)
+        elif isinstance(node, ast.Dict):
+            self._flag("H103", ctx, node, "dict literal allocated",
+                       qualname, weight)
+        elif isinstance(node, ast.List) \
+                and isinstance(node.ctx, ast.Load):
+            self._flag("H103", ctx, node, "list literal allocated",
+                       qualname, weight)
+        elif isinstance(node, ast.Set):
+            self._flag("H103", ctx, node, "set literal allocated",
+                       qualname, weight)
+        elif isinstance(node, ast.Lambda):
+            self._flag("H104", ctx, node, "lambda created", qualname,
+                       weight)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._flag("H104", ctx, node,
+                       f"closure `{node.name}` created", qualname, weight)
+        elif isinstance(node, ast.Try):
+            self._flag("H105", ctx, node, "`try` entered", qualname,
+                       weight)
+        elif isinstance(node, ast.Attribute) and depth >= 1 \
+                and isinstance(node.ctx, ast.Load):
+            links, base_node = 1, node.value
+            while isinstance(base_node, ast.Attribute):
+                links += 1
+                base_node = base_node.value
+            if links >= 3 and isinstance(base_node, ast.Name):
+                chain = ast.unparse(node)
+                self._flag("H106", ctx, node,
+                           f"attribute chain `{chain}` re-resolved",
+                           qualname, weight)
+
+
+class _HotRule(Rule):
+    """One H rule family member, reading from the shared scan."""
+
+    def __init__(self, scan: _HotScan, rule_id: str, title: str) -> None:
+        self.scan = scan
+        self.id = rule_id
+        self.title = title
+
+    def finalize(self, engine: LintEngine) -> list[Finding]:
+        self.scan.ensure(engine)
+        findings = []
+        for ctx, node, message, ident in self.scan.sites.get(self.id, []):
+            f = self.finding(ctx, node, message, ident=ident)
+            if f is not None:
+                findings.append(f)
+        return findings
+
+
+def rules() -> list[Rule]:
+    scan = _HotScan()
+    return [
+        _HotRule(scan, "H101",
+                 "per-cycle comprehension / generator expression"),
+        _HotRule(scan, "H102",
+                 "per-cycle string formatting (f-string / % / .format)"),
+        _HotRule(scan, "H103", "per-cycle dict/list/set literal"),
+        _HotRule(scan, "H104", "per-cycle closure or lambda creation"),
+        _HotRule(scan, "H105", "try statement on the per-cycle path"),
+        _HotRule(scan, "H106",
+                 "deep attribute chain re-resolved per cycle"),
+    ]

@@ -34,8 +34,12 @@ import ast
 import json
 import pathlib
 import re
+from typing import TYPE_CHECKING, Any
 
 from repro.lint.engine import FileContext, Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import LintEngine
 
 #: Registry method names that register a probe.
 _REG_METHODS = ("counter", "histogram", "derive", "derive_map")
@@ -221,7 +225,7 @@ class _FileScan(ast.NodeVisitor):
         self.generic_visit(node)
         self.class_stack.pop()
 
-    def _visit_func(self, node) -> None:
+    def _visit_func(self, node: Any) -> None:
         self.func_stack.append(node)
         self.generic_visit(node)
         self.func_stack.pop()
@@ -428,8 +432,8 @@ class ProbeRules(Rule):
                     return hook
         return None
 
-    def _instantiate(self, key: tuple, prefix, out: set[tuple],
-                     seen: frozenset) -> None:
+    def _instantiate(self, key: tuple, prefix: tuple | None,
+                     out: set[tuple], seen: frozenset) -> None:
         hook = self._hook_for(key)
         if hook is None or key in seen:
             return
@@ -472,7 +476,7 @@ class UnknownProbeRule(Rule):
     def __init__(self, collector: ProbeRules) -> None:
         self.c = collector
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         manifest = self.c.manifest()
         out = []
         for ctx, node, name in self.c.reads:
@@ -499,7 +503,7 @@ class DeadProbeRule(Rule):
     def __init__(self, collector: ProbeRules) -> None:
         self.c = collector
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         read_names = {name for _, _, name in self.c.reads}
         out = []
         for ctx, call in self.c.discarded:
@@ -527,7 +531,7 @@ class HierarchyRule(Rule):
     def __init__(self, collector: ProbeRules) -> None:
         self.c = collector
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         out = []
         seen: set[tuple] = set()
         for ctx, node, method, template, _hook in self.c.registrations:
@@ -563,7 +567,7 @@ class ManifestDriftRule(Rule):
     def __init__(self, collector: ProbeRules) -> None:
         self.c = collector
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         path = engine.root / MANIFEST_RELPATH
         if not path.is_file():
             return []
@@ -604,6 +608,25 @@ def write_manifest(engine_root: pathlib.Path, manifest: Manifest) -> pathlib.Pat
     path.write_text(json.dumps(manifest.to_json_dict(), indent=2,
                                sort_keys=True) + "\n")
     return path
+
+
+def manifest_for(engine: LintEngine) -> Manifest:
+    """The static probe manifest of an engine's scanned tree.
+
+    Built on demand from the engine's parsed files and memoized on the
+    engine, so rules outside the P family (e.g. the timeline-column
+    check E103) can validate names against the same manifest the
+    P rules reconstruct -- independent of which rules were selected.
+    """
+    cached = getattr(engine, "_probe_manifest_cache", None)
+    if isinstance(cached, Manifest):
+        return cached
+    collector = ProbeRules()
+    for ctx in engine.files:
+        collector.visit_file(ctx)
+    manifest = collector.manifest()
+    engine._probe_manifest_cache = manifest  # type: ignore[attr-defined]
+    return manifest
 
 
 def rules() -> list[Rule]:

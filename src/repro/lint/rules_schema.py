@@ -33,8 +33,12 @@ import ast
 import hashlib
 import json
 import pathlib
+from typing import TYPE_CHECKING, Any
 
 from repro.lint.engine import FileContext, Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import LintEngine
 
 #: Committed shape digest location, relative to the scan root.
 SHAPE_RELPATH = "lint/schema_shape.json"
@@ -54,7 +58,7 @@ def _strip_docstring(body: list) -> list:
     return body
 
 
-def stable_dump(node) -> str:
+def stable_dump(node: Any) -> str:
     """A Python-version-stable structural dump of an AST subtree."""
     if isinstance(node, ast.AST):
         parts = []
@@ -176,7 +180,7 @@ class SchemaRules(Rule):
 
     # -- checks ------------------------------------------------------------
 
-    def finalize(self, engine) -> list[Finding]:
+    def finalize(self, engine: LintEngine) -> list[Finding]:
         out: list[Finding] = []
         out.extend(self._check_coverage())
         out.extend(self._check_shapes(engine))
@@ -311,7 +315,7 @@ class SchemaRules(Rule):
             "snapshot_digest": self.snapshot_digest(),
         }
 
-    def _check_shapes(self, engine) -> list[Finding]:
+    def _check_shapes(self, engine: LintEngine) -> list[Finding]:
         path = pathlib.Path(engine.root) / SHAPE_RELPATH
         if not path.is_file():
             return []

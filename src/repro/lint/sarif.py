@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 export for ``repro lint`` findings.
+
+Minimal but valid: one run, one driver, a rule catalogue built from
+the engine's rule set, and one result per finding.  GitHub's
+``codeql-action/upload-sarif`` turns this into PR annotations, so the
+``uri`` is emitted relative to the repository root (the scan root is
+prefixed back on).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.lint.engine import Finding, Rule
+
+
+def findings_to_sarif(findings: list[Finding], rules: list[Rule],
+                      scan_root: pathlib.Path,
+                      new_keys: set[str] | None = None) -> dict[str, object]:
+    """Build the SARIF payload dict.
+
+    Baselined findings (keys absent from *new_keys*) are exported at
+    ``note`` level so the ratchet's frozen debt does not page anyone;
+    new findings are ``warning``.
+    """
+    try:
+        prefix = scan_root.resolve().relative_to(pathlib.Path.cwd())
+    except ValueError:
+        prefix = pathlib.Path(scan_root)
+    rule_descs = [
+        {"id": rule.id,
+         "shortDescription": {"text": rule.title}}
+        for rule in sorted(rules, key=lambda r: r.id)
+        if not rule.id.endswith("00")
+    ]
+    rule_ids = {r["id"] for r in rule_descs}
+    results: list[dict[str, object]] = []
+    for f in findings:
+        level = "warning"
+        if new_keys is not None and f.key not in new_keys:
+            level = "note"
+        result: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": level,
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": (prefix / f.path).as_posix(),
+                    },
+                    "region": {"startLine": max(f.line, 1)},
+                },
+            }],
+            "partialFingerprints": {"reproLintKey": f.key},
+        }
+        if f.rule not in rule_ids:  # e.g. E000 parse failures
+            rule_descs.append({
+                "id": f.rule,
+                "shortDescription": {"text": "lint engine finding"}})
+            rule_ids.add(f.rule)
+        results.append(result)
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/"
+                        "static-analysis.md",
+                    "rules": sorted(rule_descs,
+                                    key=lambda r: str(r["id"])),
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: pathlib.Path, findings: list[Finding],
+                rules: list[Rule], scan_root: pathlib.Path,
+                new_keys: set[str] | None = None) -> pathlib.Path:
+    payload = findings_to_sarif(findings, rules, scan_root, new_keys)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

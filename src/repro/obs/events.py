@@ -38,6 +38,11 @@ VM = "vm"
 #: a simulation cycle, since the engine runs outside any simulation.
 ENGINE = "engine"
 
+#: The closed registry of event kinds.  Every ``EventBus.emit`` call
+#: must use one of these (``repro lint`` rule E102 checks literal call
+#: sites statically); exporters and kind filters key off the same set.
+KINDS = (PIPELINE, CACHE, TLB, SYSCALL, INTERRUPT, SCHED, VM, ENGINE)
+
 # -- phases (Chrome trace_event vocabulary subset) -------------------------
 
 BEGIN = "B"

@@ -1,0 +1,6 @@
+"""Fixture event-kind registry (mirrors ``repro/obs/events.py``)."""
+
+PIPELINE = "pipeline"
+SCHED = "sched"
+
+KINDS = (PIPELINE, SCHED)

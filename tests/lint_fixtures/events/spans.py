@@ -1,0 +1,40 @@
+"""Fixture: span pairing shapes, good and bad (E101), event kinds (E102)."""
+
+
+class Tracker:
+    def ok_lexical(self, obs, work):
+        obs._span_begin("os", "syscall")
+        try:
+            work()
+        finally:
+            obs._span_end("os", "syscall")
+
+    def ok_closure(self, obs, frame):
+        # Deferred completion-callback discipline: the end fires when
+        # the frame retires, inside a closure of the same scope.
+        obs._span_begin("os", "interrupt")
+
+        def on_complete(now):
+            obs._span_end("os", "interrupt")
+
+        frame.on_complete = on_complete
+
+    def missing(self, obs):
+        obs._span_begin("os", "fault")  # E101: no end anywhere
+
+    def escape(self, obs, work):
+        obs._span_begin("os", "tick")  # E101: early return skips the end
+        if work():
+            return
+        obs._span_end("os", "tick")
+
+    def orphan(self, obs):
+        obs._span_end("os", "orphan")  # E101: no begin in scope
+
+
+def emit_ok(bus, now):
+    bus.emit(now, "pipeline", "squash")
+
+
+def emit_bad(bus, now):
+    bus.emit(now, "vmx", "flush")  # E102: kind not in KINDS

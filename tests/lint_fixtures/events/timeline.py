@@ -1,0 +1,10 @@
+"""Fixture: default timeline columns vs. the static probe manifest."""
+
+DEFAULT_TIMELINE_PROBES = (
+    "core.retired",    # registered below: resolves
+    "bogus.retired",   # E103: no registration site produces it
+)
+
+
+def register_probes(registry):
+    registry.derive("core.retired", lambda: 0)

@@ -1,0 +1,11 @@
+"""Fixture fault-site registry (mirrors ``repro/faults/plan.py``)."""
+
+KNOWN_SITES: tuple[str, ...] = (
+    "mem.read.flip",
+    "sched.pick.stall",  # F101 converse: registered but never fired
+)
+
+
+def inject(faults):
+    faults.fire("mem.read.flip")  # registered: clean
+    faults.fire("mem.read.flop")  # F101: unknown site

@@ -1,0 +1,65 @@
+"""Fixture: hot-path churn reachable from both tier-driver roots.
+
+``Simulation._run_once`` and ``_fast_once`` are the loop roots the
+H rules seed the hot set from; ``Worker.step`` and ``_helper`` are
+pulled in through their cycle loops and exhibit one of each flagged
+construct.  ``cold`` repeats the same constructs outside the hot set
+and must stay clean, as must the loop roots' own prologues (run once
+per leg, not per cycle).
+"""
+
+
+class Stats:
+    def __init__(self):
+        self.core = None
+
+
+class Worker:
+    def __init__(self):
+        self.stats = Stats()
+
+    def step(self, items):
+        squares = [x * x for x in items]    # H101
+        label = f"step-{len(items)}"        # H102
+        table = {"a": 1}                    # H103
+        total = 0
+        try:                                # H105
+            for x in squares:
+                # H106: four-link chain re-resolved inside the loop
+                total += self.stats.core.counts.retired + x
+        except AttributeError:
+            total = -1
+        # H104: lambda created per cycle
+        return sorted(squares, key=lambda v: v - total), label, table
+
+
+class Simulation:
+    def __init__(self):
+        self.worker = Worker()
+
+    def _run_once(self, items):
+        prologue = {"cold": True}  # once per leg: must not be flagged
+        n = 0
+        while n < len(items):
+            self.worker.step(items)
+            n += 1
+        return prologue
+
+
+def _helper(values):
+    uniq = {v for v in values}  # H101 (set comprehension)
+    return len(uniq)
+
+
+def _fast_once(sim, items):
+    header = [1, 2, 3]  # once per leg: must not be flagged
+    while items:
+        _helper(items)
+        items = items[:-1]
+    return header
+
+
+def cold(items):
+    # Same constructs, unreachable from any hot root: must stay clean.
+    squares = [x * x for x in items]
+    return {"cold": squares}, f"cold-{len(items)}"
