@@ -1,0 +1,793 @@
+"""Resilient simulation service: queue-fed supervised execution with
+admission control, circuit breaking, and crash-recoverable sweeps.
+
+:class:`ReproService` (behind ``repro serve``) turns the one-shot
+supervised sweep of :mod:`repro.analysis.supervisor` into a long-running
+job engine fed by the durable :class:`~repro.analysis.queue.JobQueue`:
+
+* **Submit** admits run specs through the queue's write-ahead journal
+  (dedup by artifact fingerprint, priority ordering, bounded backlog
+  with load-shedding); specs whose artifact is already in the store are
+  served warm without consuming a worker.
+* **Claim/lease** hands pending jobs to supervised worker processes
+  (the same process-isolated attempt bodies as the supervisor, results
+  via the store only).  A worker that dies, hangs past its timeout, or
+  stops heartbeating past its lease is killed and its job requeued with
+  the supervisor's deterministic backoff; retry exhaustion quarantines
+  the job, never the sweep.
+* **Circuit breaker**: repeated store-write failures (ENOSPC, torn
+  writes, checksum rot) trip the breaker from CLOSED to OPEN -- the
+  service degrades to read-only (warm hits still served, no new
+  launches).  Cooldown is counted in *denied operations*, not seconds,
+  so breaker transcripts are deterministic; every ``cooldown`` denials
+  one HALF_OPEN probe launch is allowed, and its outcome closes or
+  re-opens the circuit.
+* **Drain**: :meth:`ReproService.request_drain` (wired to SIGTERM by
+  the CLI) stops new claims, finishes the active legs, journals a clean
+  shutdown marker, and exits 0.  A SIGKILLed service loses nothing: the
+  next ``repro serve --resume`` replays the journal, completes orphaned
+  claims whose artifact already landed, requeues the rest, and the
+  final :meth:`~repro.analysis.queue.JobQueue.ledger` is byte-identical
+  to an uninterrupted run.
+
+The service emits ``core.service.*`` counters when given a probe
+registry and ``service.*`` engine events on an event bus.  Like the
+supervisor, this is host-side machinery (timeouts, leases, backoff
+sleeps) and sits on the D102 wall-clock allowlist; its *transcript* and
+report are wall-clock-free so chaos reports stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.analysis import experiments
+from repro.analysis import queue as jobqueue
+from repro.analysis.queue import Job, JobQueue, queue_root
+from repro.analysis.runner import CANONICAL_SPECS, _resolve_item
+from repro.analysis.store import RunStore
+from repro.analysis.supervisor import (DEFAULT_BACKOFF_BASE, DEFAULT_RETRIES,
+                                       TRANSIENT, Supervisor, _run_attempt,
+                                       _supervised_worker, backoff_delay,
+                                       classify_error, processes_available)
+
+#: Circuit breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Consecutive store failures that trip the breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Denied operations between half-open probes while the breaker is open.
+DEFAULT_BREAKER_COOLDOWN = 8
+
+#: Substrings identifying a worker failure as store trouble (feeding the
+#: breaker rather than only the per-job retry budget).
+_STORE_FAILURE_MARKERS = (
+    "store.put.disk_full", "store.put.torn", "disk full", "no space left",
+    "enospc", "checksum",
+)
+
+
+class ServiceError(RuntimeError):
+    """Service-level misuse (e.g. unfinished journal without --resume)."""
+
+
+class CircuitBreaker:
+    """Deterministic store circuit breaker (CLOSED / OPEN / HALF_OPEN).
+
+    ``threshold`` consecutive failures open the circuit.  While OPEN,
+    :meth:`allow` denies; every ``cooldown`` denials it lets one probe
+    through and moves to HALF_OPEN.  The probe's outcome closes the
+    circuit (success) or re-opens it (failure).  All state changes are
+    pure counter arithmetic -- no wall clock -- so a chaos transcript of
+    breaker activity is byte-identical run over run.
+    """
+
+    def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 cooldown: int = DEFAULT_BREAKER_COOLDOWN,
+                 on_transition=None) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self.failures = 0  # consecutive
+        self.trips = 0
+        self._denied = 0
+
+    def _move(self, state: str, why: str) -> None:
+        if state == self.state:
+            return
+        old, self.state = self.state, state
+        if state == OPEN:
+            self.trips += 1
+        if self.on_transition is not None:
+            self.on_transition(old, state, why)
+
+    def allow(self) -> bool:
+        """May a store-writing operation proceed right now?"""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            self._denied += 1
+            if self._denied >= self.cooldown:
+                self._denied = 0
+                self._move(HALF_OPEN, "cooldown elapsed; probing")
+                return True
+            return False
+        # HALF_OPEN: one probe is already in flight; hold the rest back.
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != CLOSED:
+            self._move(CLOSED, "probe succeeded")
+
+    def record_failure(self, why: str) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self._move(OPEN, f"probe failed: {why}")
+        elif self.state == CLOSED and self.failures >= self.threshold:
+            self._move(OPEN, f"{self.failures} consecutive store "
+                             f"failures; last: {why}")
+
+    def trip(self, why: str) -> None:
+        """Force the circuit open (the ``store.breaker.trip`` fault)."""
+        self.failures = max(self.failures, self.threshold)
+        self._denied = 0
+        self._move(OPEN, why)
+
+    def to_json_dict(self) -> dict:
+        return {"state": self.state, "trips": self.trips,
+                "threshold": self.threshold, "cooldown": self.cooldown}
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one service incarnation (deterministic, JSON-safe)."""
+
+    jobs: list = field(default_factory=list)
+    counts: dict = field(default_factory=dict)
+    replay: dict = field(default_factory=dict)
+    breaker: dict = field(default_factory=dict)
+    transcript: list = field(default_factory=list)
+    warm_hits: int = 0
+    drained: bool = False
+    clean: bool = False
+    ledger: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.counts.get(jobqueue.QUARANTINED, 0) == 0
+
+    def to_json_dict(self) -> dict:
+        return {"jobs": self.jobs, "counts": self.counts,
+                "replay": self.replay, "breaker": self.breaker,
+                "transcript": self.transcript, "warm_hits": self.warm_hits,
+                "drained": self.drained, "clean": self.clean,
+                "ledger": self.ledger}
+
+    def render(self) -> str:
+        lines = ["service report", "=" * 14]
+        for job in self.jobs:
+            mark = {jobqueue.DONE: "ok", jobqueue.QUARANTINED: "QUAR",
+                    jobqueue.PENDING: "pend",
+                    jobqueue.CLAIMED: "orph"}.get(job["state"], "?")
+            note = " (store)" if job.get("from_store") else ""
+            if job.get("coalesced"):
+                note += f" (+{job['coalesced']} coalesced)"
+            err = f" -- {job['error']}" if job.get("error") else ""
+            lines.append(f"  [{mark:>4}] {job['label']}"
+                         f" x{job['attempts']}{note}{err}")
+        counted = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items())
+                            if v)
+        lines.append(f"counts: {counted or 'empty'}")
+        lines.append(f"breaker: {self.breaker.get('state')} "
+                     f"(trips={self.breaker.get('trips', 0)})")
+        if self.replay.get("records"):
+            lines.append(
+                f"journal: {self.replay['records']} records replayed, "
+                f"{self.replay.get('torn_records', 0)} torn, "
+                f"{len(self.replay.get('orphans', []))} orphans")
+        if self.drained:
+            lines.append("drained: clean shutdown (journal marker written)")
+        return "\n".join(lines)
+
+
+class _Leg:
+    """One in-flight claimed job inside this incarnation."""
+
+    def __init__(self, job: Job, slot: int, proc=None, deadline=None,
+                 err_path: str | None = None,
+                 progress_path: str | None = None) -> None:
+        self.job = job
+        self.slot = slot
+        self.proc = proc
+        self.deadline = deadline
+        self.err_path = err_path
+        self.progress_path = progress_path
+
+
+class ReproService:
+    """Queue-fed supervised run engine (one incarnation).
+
+    Construction opens (and replays) the durable queue under
+    *store*'s root; :meth:`submit` admits work; :meth:`run` executes
+    until the queue is empty or a drain completes.  Parameters mirror
+    the supervisor where they overlap (*retries*, *timeout*,
+    *isolation*, *backoff_base*, fault-site-aware attempt bodies);
+    *lease_s* bounds how long a claimed worker may go without a
+    heartbeat before its lease is revoked.  *on_complete* is called
+    with each finished :class:`~repro.analysis.queue.Job` (used by
+    chaos scenarios to trigger drains mid-sweep).
+    """
+
+    def __init__(self, store: RunStore | None = None, *,
+                 workers: int = 1, retries: int = DEFAULT_RETRIES,
+                 timeout: float | None = None,
+                 lease_s: float = jobqueue.DEFAULT_LEASE_S,
+                 queue_limit: int = jobqueue.DEFAULT_LIMIT,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 poll_interval: float = 0.05, isolation: str = "auto",
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_cooldown: int = DEFAULT_BREAKER_COOLDOWN,
+                 events=None, registry=None, on_complete=None,
+                 progress: bool = False,
+                 max_cycles_per_run: int | None = None,
+                 watchdog_cycles: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if isolation not in ("auto", "process", "inline"):
+            raise ValueError(f"unknown isolation {isolation!r}")
+        self.store = store or RunStore()
+        self.queue = JobQueue(queue_root(self.store.root),
+                              limit=queue_limit, lease_s=lease_s)
+        self.workers = workers
+        self.retries = retries
+        self.timeout = timeout
+        self.lease_s = lease_s
+        self.backoff_base = backoff_base
+        self.poll_interval = poll_interval
+        self.isolation = isolation
+        self.events = events
+        self.on_complete = on_complete
+        self.progress = progress
+        self.max_cycles_per_run = max_cycles_per_run
+        self.watchdog_cycles = watchdog_cycles
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown,
+                                      on_transition=self._breaker_moved)
+        self._breaker_fault_seen = False
+        self.draining = False
+        self.warm_hits = 0
+        self.transcript: list = []
+        self._step = 0
+        self._started_at = time.monotonic()
+        self._submitted_at: dict[str, float] = {}
+        self._not_before: dict[str, float] = {}
+        self._active: dict[str, _Leg] = {}  # job id -> leg
+        self._free_slots = list(range(workers))
+        self._aggregator = None
+        self._init_progress_dir()
+        if registry is not None:
+            self.register_probes(registry)
+        else:
+            from repro.obs.registry import NULL_REGISTRY
+
+            self.register_probes(NULL_REGISTRY)
+        if self.queue.replayed.records:
+            self.transcript.append(
+                f"journal replayed: {self.queue.replayed.records} records, "
+                f"{self.queue.replayed.torn_records} torn, "
+                f"{len(self.queue.replayed.orphans)} orphaned claims")
+            self._emit("service.resume", "journal",
+                       f"{self.queue.replayed.records} records")
+
+    # -- wiring ------------------------------------------------------------
+
+    def _init_progress_dir(self) -> None:
+        """Persistent per-worker heartbeat files under the queue root.
+
+        Unlike the supervisor's per-sweep temp dir, the service's
+        progress dir survives incarnations -- so stale ``worker-*.json``
+        from a dead service must be pruned at startup or the aggregator
+        would report them as stalled forever.
+        """
+        from repro.obs.live import ProgressAggregator
+
+        directory = self.queue.root / "progress"
+        directory.mkdir(parents=True, exist_ok=True)
+        self._aggregator = ProgressAggregator(
+            directory, total_runs=self.workers, stale_after=self.lease_s)
+        pruned = self._aggregator.prune()
+        if pruned:
+            self.transcript.append(
+                f"pruned {len(pruned)} stale worker state files "
+                f"from a previous incarnation")
+
+    def register_probes(self, registry) -> None:
+        """Service counters under ``core.service.*`` (probe hierarchy)."""
+        self.c_submitted = registry.counter("core.service.submitted")
+        self.c_coalesced = registry.counter("core.service.coalesced")
+        self.c_shed = registry.counter("core.service.shed")
+        self.c_warm_hits = registry.counter("core.service.warm_hits")
+        self.c_claims = registry.counter("core.service.claims")
+        self.c_completed = registry.counter("core.service.completed")
+        self.c_requeued = registry.counter("core.service.requeued")
+        self.c_quarantined = registry.counter("core.service.quarantined")
+        self.c_orphans = registry.counter("core.service.orphans")
+        self.c_breaker_trips = registry.counter("core.service.breaker_trips")
+        self.c_drains = registry.counter("core.service.drains")
+
+    def _emit(self, name: str, label: str, detail: str = "") -> None:
+        if self.events is None:
+            return
+        from repro.obs.events import ENGINE
+
+        self._step += 1
+        self.events.emit(self._step, ENGINE, name, service=label,
+                         args={"detail": detail} if detail else None)
+
+    def _breaker_moved(self, old: str, new: str, why: str) -> None:
+        self.transcript.append(f"breaker {old} -> {new}: {why}")
+        if new == OPEN:
+            self.c_breaker_trips.add()
+            self._emit("service.breaker.open", "store", why)
+        elif new == CLOSED:
+            self._emit("service.breaker.close", "store", why)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, spec: dict, *, priority: int = 0,
+               deadline_s: float | None = None,
+               force: bool = False) -> tuple[Job | None, str]:
+        """Admit one resolved run spec.
+
+        Returns ``(job, outcome)`` where outcome extends the queue's
+        (``queued``/``coalesced``/``done``/``shed``) with ``warm``: the
+        artifact already sits in the store, so the job is journaled and
+        completed immediately without consuming a worker (load-shedding
+        of duplicate work).  Store *reads* stay allowed even when the
+        breaker is open -- degraded mode is read-only, not dead.
+        """
+        job, outcome = self.queue.submit(spec, priority=priority,
+                                         deadline_s=deadline_s)
+        if outcome == "shed":
+            self.c_shed.add()
+            self._emit("service.shed", jobqueue.job_label(spec),
+                       f"backlog at limit {self.queue.limit}")
+            self.transcript.append(
+                f"shed {jobqueue.job_label(spec)}: backlog at "
+                f"limit {self.queue.limit}")
+            return job, outcome
+        assert job is not None
+        if outcome == "coalesced":
+            self.c_coalesced.add()
+            self._emit("service.submit", job.label, "coalesced")
+            return job, outcome
+        if outcome == "done":
+            return job, outcome
+        self.c_submitted.add()
+        self._submitted_at[job.id] = time.monotonic()
+        self._emit("service.submit", job.label, f"priority {priority}")
+        if not force:
+            artifact = self._store_get(job.fingerprint)
+            if artifact is not None:
+                self.queue.complete(job.id, from_store=True)
+                self.warm_hits += 1
+                self.c_warm_hits.add()
+                self._emit("service.complete", job.label, "warm store hit")
+                self.transcript.append(f"warm hit {job.label}")
+                return job, "warm"
+        return job, outcome
+
+    def _store_get(self, fingerprint: str):
+        """Breaker-guarded store read (read path never blocks on OPEN,
+        but its failures feed the breaker)."""
+        try:
+            artifact = self.store.get(fingerprint)
+        except OSError as exc:
+            self.breaker.record_failure(f"store read: {exc}")
+            return None
+        return artifact
+
+    # -- drain / recovery --------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Stop claiming; finish active legs; journal a clean shutdown."""
+        if self.draining:
+            return
+        self.draining = True
+        self.c_drains.add()
+        self._emit("service.drain", "service",
+                   f"{len(self._active)} active legs")
+        self.transcript.append(
+            f"drain requested: finishing {len(self._active)} active legs, "
+            f"{self.queue.pending_count()} jobs stay queued")
+
+    def _reconcile_orphans(self) -> None:
+        """Startup recovery: claims journaled by a dead incarnation.
+
+        An orphaned claim's worker may have finished the run before
+        dying -- the store, not the journal, is the source of truth for
+        the artifact -- so each orphan is either completed from the
+        store or requeued.  Requeueing is dedup-safe: identity is the
+        artifact fingerprint.
+        """
+        orphans = [self.queue.jobs[jid] for jid in self.queue.replayed.orphans
+                   if jid in self.queue.jobs]
+        for job in sorted(orphans, key=lambda j: j.submit_seq):
+            if job.state != jobqueue.CLAIMED:
+                continue
+            self.c_orphans.add()
+            artifact = self._store_get(job.fingerprint)
+            if artifact is not None:
+                experiments.register_artifact(artifact)
+                self.queue.complete(job.id, from_store=True)
+                self._emit("service.complete", job.label,
+                           "orphan: artifact already stored")
+                self.transcript.append(
+                    f"orphan {job.label}: dead worker had stored the "
+                    f"artifact; completed")
+                self.c_completed.add()
+            else:
+                self.queue.requeue(job.id, "orphan")
+                self.c_requeued.add()
+                self._emit("service.requeue", job.label, "orphaned claim")
+                self.transcript.append(
+                    f"orphan {job.label}: requeued (no artifact stored)")
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Execute until the queue is empty or a drain completes."""
+        self._reconcile_orphans()
+        use_processes = (self.isolation == "process"
+                         or (self.isolation == "auto"
+                             and processes_available()))
+        if not use_processes and self.timeout is not None:
+            self.transcript.append(
+                "inline fallback: per-run timeouts and leases are "
+                "best-effort only (no process isolation available)")
+        while True:
+            # One-shot guard: inline attempts reset fault counters
+            # (workers normally re-arm in their own process), so without
+            # it a times=1 trip would re-fire after every inline run.
+            if not self._breaker_fault_seen \
+                    and faults.fire("store.breaker.trip", "service") is not None:
+                self._breaker_fault_seen = True
+                self.breaker.trip("injected store failure storm")
+            launched = self._launch_phase(use_processes)
+            if self._active:
+                self._reap()
+            elif not launched:
+                runnable, soonest = self._runnable()
+                if self.draining or not runnable:
+                    break
+                if soonest is not None:
+                    time.sleep(min(max(0.0, soonest - time.monotonic()),
+                                   self.poll_interval * 4))
+                else:
+                    # Breaker open: denials are counted per pass, and
+                    # every `cooldown` of them admits a half-open probe.
+                    time.sleep(self.poll_interval)
+            if self._aggregator is not None and self.progress:
+                self._aggregator.refresh(
+                    final=not self._active and self.draining)
+        clean_drain = self.draining
+        self.queue.mark_shutdown(clean=True, drained=clean_drain)
+        if clean_drain:
+            self.transcript.append("clean shutdown marker journaled "
+                                   "(drained)")
+        return self.report(drained=clean_drain)
+
+    def _runnable(self) -> tuple[bool, float | None]:
+        """(any pending job left, soonest backoff deadline or None)."""
+        pending = self.queue.pending_jobs()
+        if not pending:
+            return False, None
+        deadlines = [self._not_before[j.id] for j in pending
+                     if j.id in self._not_before]
+        if len(deadlines) == len(pending):
+            return True, min(deadlines)
+        return True, None
+
+    def _launch_phase(self, use_processes: bool) -> bool:
+        """Claim and start as many pending jobs as slots/policy allow."""
+        launched = False
+        now = time.monotonic()
+        # Re-check draining inside the loop: an inline leg settles
+        # synchronously, and its on_complete hook may request a drain
+        # that must stop the very next claim.
+        while self._free_slots and not self.draining:
+            ready = [j for j in self.queue.pending_jobs()
+                     if self._not_before.get(j.id, 0.0) <= now]
+            if not ready:
+                break
+            if not self.breaker.allow():
+                break
+            job = self.queue.claim(f"w{self._free_slots[0]}")
+            if job is None:
+                # queue.claim.orphan fired: the claim is journaled but
+                # this incarnation lost track of it -- exactly a worker
+                # vanishing post-claim.  Recovery happens on resume.
+                self.transcript.append(
+                    "claimed job lost before tracking (orphaned; "
+                    "a resume will recover it)")
+                break
+            self.c_claims.add()
+            self._not_before.pop(job.id, None)
+            leg = self._start_leg(job, use_processes)
+            launched = True
+            if leg is None:
+                continue  # inline mode settles synchronously
+        return launched
+
+    def _effective_timeout(self, job: Job) -> tuple[float | None, bool]:
+        """Per-attempt timeout with the job's deadline folded in.
+
+        A ``deadline_s`` is a total latency budget from submit; the
+        remaining budget caps the attempt timeout, and an expired
+        deadline quarantines the job without wasting a worker on it.
+        """
+        limit = self.timeout
+        if job.deadline_s is not None:
+            submitted = self._submitted_at.get(job.id, self._started_at)
+            remaining = job.deadline_s - (time.monotonic() - submitted)
+            if remaining <= 0:
+                return None, True
+            limit = remaining if limit is None else min(limit, remaining)
+        return limit, False
+
+    def _start_leg(self, job: Job, use_processes: bool) -> _Leg | None:
+        slot = self._free_slots.pop(0)
+        limit, expired = self._effective_timeout(job)
+        if expired:
+            self._free_slots.insert(0, slot)
+            self._quarantine(job, "deadline expired before execution",
+                             TRANSIENT)
+            return None
+        self._emit("service.claim", job.label,
+                   f"worker w{slot}, attempt {job.attempts}")
+        self.transcript.append(
+            f"claim w{slot} {job.label} attempt {job.attempts}")
+        if not use_processes:
+            self._free_slots.insert(0, slot)
+            self._run_inline(job)
+            return None
+        ctx = multiprocessing.get_context()
+        err_path = str(self.queue.root / f"err-{slot}.json")
+        try:
+            os.unlink(err_path)  # a dead incarnation's stale error record
+        except OSError:
+            pass
+        progress_path = (self._aggregator.path_for(slot)
+                         if self._aggregator is not None else None)
+        proc = ctx.Process(
+            target=_supervised_worker,
+            args=(job.spec, str(self.store.root), job.attempts, err_path,
+                  progress_path, self.max_cycles_per_run,
+                  self.watchdog_cycles),
+            daemon=True)
+        proc.start()
+        if faults.fire("service.worker.lost", job.label) is not None:
+            # The host running this worker vanished: SIGKILL, no
+            # cleanup, no error record.  The reap path must classify
+            # the bare nonzero exit as transient and retry.
+            proc.kill()
+        deadline = time.monotonic() + limit if limit else None
+        leg = _Leg(job, slot, proc=proc, deadline=deadline,
+                   err_path=err_path, progress_path=progress_path)
+        self._active[job.id] = leg
+        return leg
+
+    # -- settling ----------------------------------------------------------
+
+    def _reap(self) -> None:
+        sentinels = {leg.proc.sentinel: jid
+                     for jid, leg in self._active.items()}
+        try:
+            ready = multiprocessing.connection.wait(
+                list(sentinels), timeout=self.poll_interval)
+        except OSError:  # pragma: no cover - sentinel raced closed
+            ready = []
+        for sentinel in ready:
+            leg = self._active.pop(sentinels[sentinel])
+            leg.proc.join()
+            self._free_slots.append(leg.slot)
+            self._free_slots.sort()
+            self._settle_exit(leg)
+        now = time.monotonic()
+        for jid, leg in list(self._active.items()):
+            if not leg.proc.is_alive():
+                continue
+            if leg.deadline is not None and now >= leg.deadline:
+                if self.timeout is not None:
+                    error = (f"timed out after {self.timeout:g}s; "
+                             f"worker terminated")
+                else:
+                    error = "deadline exhausted; worker terminated"
+                self._revoke(leg, error)
+            elif self._lease_expired(leg, now):
+                self._revoke(leg, f"lease expired: no heartbeat for "
+                                  f"{self.lease_s:g}s; worker terminated")
+
+    def _lease_expired(self, leg: _Leg, now: float) -> bool:
+        if leg.progress_path is None:
+            return False
+        try:
+            age = now - os.stat(leg.progress_path).st_mtime
+        except OSError:
+            return False  # no heartbeat written yet: the timeout governs
+        return age > self.lease_s
+
+    def _revoke(self, leg: _Leg, error: str) -> None:
+        Supervisor._kill(leg.proc)
+        self._active.pop(leg.job.id, None)
+        self._free_slots.append(leg.slot)
+        self._free_slots.sort()
+        self._retry_or_quarantine(leg.job, error, TRANSIENT)
+
+    def _settle_exit(self, leg: _Leg) -> None:
+        job = leg.job
+        if leg.proc.exitcode == 0:
+            artifact = self._store_get(job.fingerprint)
+            if artifact is not None:
+                self._complete(job, artifact)
+                return
+            error, kind = ("worker exited cleanly but stored no artifact",
+                           TRANSIENT)
+        else:
+            record = Supervisor._read_error(leg.err_path)
+            if record is not None:
+                error = f"{record.get('type')}: {record.get('message')}"
+                kind = classify_error(record.get("type", ""),
+                                      record.get("transient"))
+            else:
+                error = f"worker lost (exit code {leg.proc.exitcode})"
+                kind = TRANSIENT
+        self._note_store_failure(error)
+        self._retry_or_quarantine(job, error, kind)
+
+    def _run_inline(self, job: Job) -> None:
+        """Serial in-process attempt (no isolation available)."""
+        try:
+            if faults.fire("service.worker.lost", job.label) is not None:
+                raise faults.InjectedFault(
+                    "service.worker.lost",
+                    f"injected worker loss ({job.label})")
+            artifact = _run_attempt(
+                job.spec, str(self.store.root), job.attempts,
+                max_cycles=self.max_cycles_per_run,
+                watchdog_cycles=self.watchdog_cycles)
+        except Exception as exc:  # noqa: BLE001 - taxonomy below
+            error = f"{type(exc).__name__}: {exc}"
+            kind = classify_error(type(exc).__name__,
+                                  getattr(exc, "transient", None))
+            self._note_store_failure(error)
+            self._retry_or_quarantine(job, error, kind)
+            return
+        finally:
+            faults.set_attempt(1)
+        self._complete(job, artifact)
+
+    def _note_store_failure(self, error: str) -> None:
+        lowered = error.lower()
+        if any(marker in lowered for marker in _STORE_FAILURE_MARKERS):
+            self.breaker.record_failure(error)
+        else:
+            # A healthy store served this failure's bookkeeping; only
+            # store-shaped errors accumulate toward the trip threshold.
+            return
+
+    def _complete(self, job: Job, artifact) -> None:
+        experiments.register_artifact(artifact)
+        self.queue.complete(job.id)
+        self.breaker.record_success()
+        self.c_completed.add()
+        self._emit("service.complete", job.label,
+                   f"attempt {job.attempts}")
+        self.transcript.append(f"complete {job.label} "
+                               f"attempt {job.attempts}")
+        if self.on_complete is not None:
+            self.on_complete(job)
+
+    def _retry_or_quarantine(self, job: Job, error: str, kind: str) -> None:
+        if kind == TRANSIENT and job.attempts <= self.retries:
+            delay = backoff_delay(job.attempts + 1, self.backoff_base)
+            self.queue.requeue(job.id, "retry")
+            self._not_before[job.id] = time.monotonic() + delay
+            self.c_requeued.add()
+            self._emit("service.requeue", job.label, error)
+            self.transcript.append(
+                f"requeue {job.label} attempt {job.attempts}: "
+                f"[{kind}] {error}; retrying in {delay:g}s")
+        else:
+            self._quarantine(job, error, kind)
+
+    def _quarantine(self, job: Job, error: str, kind: str) -> None:
+        self.queue.quarantine(job.id, error)
+        self.c_quarantined.add()
+        self._emit("service.quarantine", job.label, error)
+        self.transcript.append(
+            f"quarantine {job.label} attempt {job.attempts}: "
+            f"[{kind}] {error}")
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, drained: bool = False) -> ServiceReport:
+        jobs = sorted(self.queue.jobs.values(), key=lambda j: j.submit_seq)
+        return ServiceReport(
+            jobs=[j.to_public_dict() for j in jobs],
+            counts=self.queue.counts(),
+            replay=self.queue.replayed.to_json_dict(),
+            breaker=self.breaker.to_json_dict(),
+            transcript=list(self.transcript),
+            warm_hits=self.warm_hits,
+            drained=drained,
+            clean=True,
+            ledger=self.queue.ledger())
+
+
+def run_service(specs=None, *, store: RunStore | None = None,
+                resume: bool = False, workers: int = 1,
+                retries: int = DEFAULT_RETRIES,
+                timeout: float | None = None,
+                lease_s: float = jobqueue.DEFAULT_LEASE_S,
+                queue_limit: int = jobqueue.DEFAULT_LIMIT,
+                priority: int = 0, deadline_s: float | None = None,
+                backoff_base: float = DEFAULT_BACKOFF_BASE,
+                isolation: str = "auto", force: bool = False,
+                events=None, registry=None, on_complete=None,
+                progress: bool = False, sigterm_drain: bool = False,
+                breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                breaker_cooldown: int = DEFAULT_BREAKER_COOLDOWN,
+                max_cycles_per_run: int | None = None,
+                watchdog_cycles: int | None = None) -> ServiceReport:
+    """One ``repro serve`` incarnation: admit *specs*, run to empty/drain.
+
+    Without *resume*, an existing journal with unfinished jobs is an
+    error -- it means a previous incarnation died (or was killed) and
+    its work would be silently re-judged; ``--resume`` makes recovery
+    explicit.  Submitting the same specs again under resume is
+    harmless: fingerprint identity coalesces them onto the journaled
+    jobs.  *sigterm_drain* wires SIGTERM to a graceful drain.
+    """
+    store = store or RunStore()
+    service = ReproService(
+        store, workers=workers, retries=retries, timeout=timeout,
+        lease_s=lease_s, queue_limit=queue_limit,
+        backoff_base=backoff_base, isolation=isolation,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown, events=events, registry=registry,
+        on_complete=on_complete, progress=progress,
+        max_cycles_per_run=max_cycles_per_run,
+        watchdog_cycles=watchdog_cycles)
+    unfinished = (service.queue.counts()[jobqueue.PENDING]
+                  + service.queue.counts()[jobqueue.CLAIMED])
+    if unfinished and not resume:
+        raise ServiceError(
+            f"journal at {service.queue.journal_path} has {unfinished} "
+            f"unfinished jobs from a previous incarnation; "
+            f"rerun with --resume to recover them")
+    if sigterm_drain:
+        try:
+            signal.signal(signal.SIGTERM,
+                          lambda signum, frame: service.request_drain())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    items = list(specs) if specs is not None else list(CANONICAL_SPECS)
+    for item in items:
+        service.submit(_resolve_item(item), priority=priority,
+                       deadline_s=deadline_s, force=force)
+    return service.run()

@@ -469,11 +469,21 @@ class RunStore:
         atomic rename; a worker killed in that window leaves the temp
         file behind forever.  Returns ``(path, size)`` pairs (removed,
         or merely found with *dry_run*).
+
+        The listing sorts on (base name, numeric pid), not the raw
+        filename: lexicographic order ranks ``.tmp.100`` before
+        ``.tmp.99``, so a retried sweep whose workers got different
+        pids would reorder the ``cache gc`` transcript.
         """
         if not self.root.is_dir():
             return []
+
+        def order(path: pathlib.Path) -> tuple[str, int]:
+            base, _, pid = path.name.rpartition(".")
+            return (base, int(pid) if pid.isdigit() else -1)
+
         found = []
-        for path in sorted(self.root.glob("*.tmp.*")):
+        for path in sorted(self.root.glob("*.tmp.*"), key=order):
             try:
                 size = path.stat().st_size
             except OSError:  # pragma: no cover - racing deletion

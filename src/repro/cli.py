@@ -16,6 +16,8 @@
     python -m repro cache gc --dry-run
     python -m repro cache clear
     python -m repro chaos --json chaos.json
+    python -m repro serve --spec-file sweep.json --workers 4
+    python -m repro serve --resume
     python -m repro lint --json findings.json
     python -m repro list
     python -m repro counters specint --grep mem.l2
@@ -45,8 +47,13 @@ checks -- determinism, probe hygiene, schema/fingerprint drift -- and
 ``cache ls --verify`` re-fingerprints every stored artifact (see
 ``docs/static-analysis.md``); ``chaos`` runs the deterministic
 fault-injection matrix against the supervised run engine and ``prefetch
---retries/--timeout/--keep-going`` supervise real sweeps (see
-``docs/robustness.md``).  Runs resolve through the content-addressed
+--retries/--timeout/--keep-going`` supervise real sweeps; ``serve`` runs
+sweeps as a resilient service -- every job transition goes through a
+checksummed write-ahead journal under the store, so a killed sweep
+resumes with ``--resume`` instead of restarting, duplicate submits
+coalesce by artifact fingerprint, a circuit breaker degrades the
+service to read-only under store failures, and SIGTERM drains
+gracefully (see ``docs/robustness.md``).  Runs resolve through the content-addressed
 on-disk store (default ``.repro_cache/``, override with
 ``REPRO_CACHE_DIR``), so only the first invocation *anywhere* pays the
 simulation cost; ``REPRO_BUDGET_MULT`` scales the instruction budgets
@@ -430,6 +437,44 @@ def _cmd_chaos(args) -> int:
         print(f"wrote {args.json}")
     print(report.render())
     return 0 if report.survived else 1
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: queue-fed resilient sweep service."""
+    from repro.analysis.service import ServiceError, run_service
+
+    specs = None
+    if args.spec_file:
+        import json as _json
+
+        try:
+            with open(args.spec_file) as f:
+                specs = _json.load(f)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read spec file: {exc}")
+        if not isinstance(specs, list) or not specs:
+            raise SystemExit("spec file must hold a non-empty JSON list "
+                             "of run specs")
+    try:
+        report = run_service(
+            specs, resume=args.resume, workers=args.workers,
+            retries=args.retries, timeout=args.timeout,
+            lease_s=args.lease, queue_limit=args.queue_limit,
+            priority=args.priority, deadline_s=args.deadline,
+            isolation=args.isolation, progress=args.progress,
+            sigterm_drain=True)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        import json as _json
+
+        _guard_overwrite(args.json, args.force)
+        with open(args.json, "w") as f:
+            _json.dump(report.to_json_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_counters(args) -> int:
@@ -986,6 +1031,50 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--force", action="store_true",
                          help="overwrite an existing --json file")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="resilient sweep service: durable job queue, circuit "
+             "breaker, graceful drain, crash recovery")
+    p_serve.add_argument("--spec-file", default=None, metavar="FILE",
+                         help="JSON list of run specs to admit (default: "
+                              "the eight canonical runs)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="replay the journal of a dead incarnation: "
+                              "complete orphaned claims whose artifact "
+                              "landed, requeue the rest")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker process slots (default 1)")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="retry budget per job (default 2)")
+    p_serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="terminate a run after S seconds per attempt")
+    p_serve.add_argument("--lease", type=float, default=60.0, metavar="S",
+                         help="revoke a claim whose worker has not "
+                              "heartbeat for S seconds (default 60)")
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         dest="queue_limit", metavar="N",
+                         help="pending-backlog bound; submits beyond it "
+                              "are shed (default 256)")
+    p_serve.add_argument("--priority", type=int, default=0,
+                         help="priority for this batch of submits "
+                              "(higher claims first)")
+    p_serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="total latency budget per job from submit; "
+                              "expired jobs are quarantined unexecuted")
+    p_serve.add_argument("--isolation",
+                         choices=("auto", "process", "inline"),
+                         default="auto",
+                         help="worker isolation (default: processes when "
+                              "available)")
+    p_serve.add_argument("--progress", action="store_true",
+                         help="show one aggregate live line while the "
+                              "service runs")
+    p_serve.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the service report here")
+    p_serve.add_argument("--force", action="store_true",
+                         help="overwrite an existing --json file")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cnt = sub.add_parser(
         "counters",

@@ -2,11 +2,14 @@
 
 Each scenario arms one :class:`~repro.faults.plan.FaultPlan`, runs a
 small real sweep through the supervised engine
-(:mod:`repro.analysis.supervisor`), and asserts the recovery contract:
-the sweep completes (with partial results where the scenario demands
-it), retries are bounded, corrupt data lands in quarantine, and --
-checked after every scenario -- the store still verifies clean, so no
-injected fault ever corrupts a *stored* artifact.
+(:mod:`repro.analysis.supervisor`) or the resilient service
+(:mod:`repro.analysis.service` -- torn journals, orphaned claims, lost
+workers, breaker trips, graceful drains, and SIGKILL-then-resume), and
+asserts the recovery contract: the sweep completes (with partial
+results where the scenario demands it), retries are bounded, corrupt
+data lands in quarantine, and -- checked after every scenario -- the
+store still verifies clean, so no injected fault ever corrupts a
+*stored* artifact.
 
 Everything here is deterministic: fault plans are seeded and
 counter-driven, run transcripts carry attempt numbers and configured
@@ -122,6 +125,33 @@ class _Ctx:
         return {"workload": "specint", "cpu": cpu, "os_mode": "app",
                 "instructions": self.instructions,
                 "seed": self.seed if seed is None else seed}
+
+    def serve(self, specs: list[dict], plan: faults.FaultPlan | None,
+              resume: bool = False, **overrides: Any) -> Any:
+        """One service incarnation under *plan* (cleared afterwards).
+
+        Service scenarios run inline regardless of the matrix isolation
+        setting: a serial service settles jobs in a deterministic order,
+        which is what keeps the scenario transcript byte-identical.
+        """
+        from repro.analysis.service import run_service
+
+        experiments.clear_cache()
+        if plan is not None:
+            faults.install(plan)
+        else:
+            faults.clear()
+        kwargs: dict[str, Any] = dict(
+            store=self.store, retries=self.retries,
+            backoff_base=self.backoff_base, isolation="inline")
+        kwargs.update(overrides)
+        try:
+            report = run_service(specs, resume=resume, **kwargs)
+        finally:
+            faults.clear()
+        for line in report.transcript:
+            self.lines.append(line)
+        return report
 
     def plan(self, *sites: faults.FaultSite) -> faults.FaultPlan:
         return faults.FaultPlan(sites=tuple(sites), seed=self.seed)
@@ -298,6 +328,193 @@ def _quarantine_permanent(ctx: _Ctx) -> None:
     ctx.check("partial results returned", len(results) == 2)
 
 
+def _torn_journal(ctx: _Ctx) -> None:
+    """The service dies mid-append of a journal record (half a line on
+    disk, no newline); the resumed incarnation truncates the torn tail,
+    recovers the orphaned claim from the store, and finishes the sweep."""
+    specs = [ctx.spec(seed=1), ctx.spec(seed=2)]
+    plan = ctx.plan(faults.FaultSite("queue.journal.torn", match="complete"))
+    died = False
+    try:
+        ctx.serve(specs, plan)
+    except faults.InjectedFault:
+        died = True
+    ctx.check("service died mid-append of a completion record", died)
+    report = ctx.serve(specs, None, resume=True)
+    ctx.check("torn record dropped on replay",
+              report.replay["torn_records"] == 1,
+              f"torn_records={report.replay['torn_records']}")
+    ctx.check("orphaned claim completed from the store, not re-run",
+              any(j["state"] == "done" and j["from_store"]
+                  for j in report.jobs))
+    ctx.check("sweep completed after resume",
+              report.counts["done"] == 2 and not report.counts["pending"],
+              f"counts={report.counts}")
+    followup = ctx.serve(specs, None, resume=True)
+    ctx.check("rewritten journal replays clean",
+              followup.replay["torn_records"] == 0
+              and followup.replay["clean_shutdown"])
+
+
+def _orphan_claim(ctx: _Ctx) -> None:
+    """A worker vanishes between the journaled claim and the service
+    tracking it; the claim is orphaned, and the next incarnation
+    requeues and finishes it -- never lost, never duplicated."""
+    specs = [ctx.spec(seed=1), ctx.spec(seed=2)]
+    plan = ctx.plan(faults.FaultSite("queue.claim.orphan", match="-s1"))
+    report = ctx.serve(specs, plan)
+    ctx.check("claim orphaned, sweep continued",
+              report.counts["claimed"] == 1 and report.counts["done"] == 1,
+              f"counts={report.counts}")
+    resumed = ctx.serve(specs, None, resume=True)
+    ctx.check("orphan requeued on resume",
+              any("requeued (no artifact stored)" in line
+                  for line in resumed.transcript))
+    ctx.check("orphan executed exactly once more",
+              resumed.counts["done"] == 2
+              and all(j["attempts"] <= 2 for j in resumed.jobs),
+              f"counts={resumed.counts}")
+
+
+def _service_worker_lost(ctx: _Ctx) -> None:
+    """A launched service worker is lost (SIGKILL-shaped: no error
+    record, no cleanup); the lease/exit machinery requeues the job and
+    the retry succeeds."""
+    plan = ctx.plan(faults.FaultSite("service.worker.lost", match="-s1"))
+    report = ctx.serve([ctx.spec(seed=1)], plan)
+    ctx.check("job recovered after worker loss",
+              report.counts["done"] == 1, f"counts={report.counts}")
+    ctx.check("exactly one retry",
+              report.jobs[0]["attempts"] == 2,
+              f"attempts={report.jobs[0]['attempts']}")
+    ctx.check("transcript records the requeue",
+              any("requeue" in line for line in report.transcript))
+
+
+def _breaker_trip(ctx: _Ctx) -> None:
+    """The store circuit breaker is forced open: launches are denied
+    (read-only degraded mode), a half-open probe goes through after the
+    cooldown, and its success closes the circuit -- the sweep still
+    completes every job."""
+    plan = ctx.plan(faults.FaultSite("store.breaker.trip"))
+    report = ctx.serve([ctx.spec(seed=1), ctx.spec(seed=2)], plan,
+                       breaker_cooldown=2)
+    ctx.check("breaker tripped exactly once",
+              report.breaker["trips"] == 1,
+              f"trips={report.breaker['trips']}")
+    ctx.check("half-open probe closed the circuit",
+              report.breaker["state"] == "closed"
+              and any("half-open -> closed" in line
+                      for line in report.transcript))
+    ctx.check("sweep completed despite the trip",
+              report.counts["done"] == 2, f"counts={report.counts}")
+
+
+def _graceful_drain(ctx: _Ctx) -> None:
+    """A drain request lands after the first completion: no new claims,
+    active legs finish, a clean shutdown marker is journaled, and the
+    next incarnation completes the remainder."""
+    from repro.analysis.runner import _resolve_item
+    from repro.analysis.service import ReproService
+
+    experiments.clear_cache()
+    faults.clear()
+    holder: dict[str, Any] = {}
+    service = ReproService(
+        ctx.store, isolation="inline", retries=ctx.retries,
+        backoff_base=ctx.backoff_base,
+        on_complete=lambda job: holder["service"].request_drain())
+    holder["service"] = service
+    specs = [ctx.spec(seed=1), ctx.spec(seed=2), ctx.spec(seed=3)]
+    for spec in specs:
+        service.submit(_resolve_item(spec))
+    report = service.run()
+    for line in report.transcript:
+        ctx.lines.append(line)
+    ctx.check("drain stopped new claims",
+              report.counts["done"] == 1 and report.counts["pending"] == 2,
+              f"counts={report.counts}")
+    ctx.check("drained cleanly", report.drained)
+    resumed = ctx.serve(specs, None, resume=True)
+    ctx.check("journal recorded the clean drain",
+              resumed.replay["clean_shutdown"] and resumed.replay["drained"])
+    ctx.check("resume completed the drained sweep",
+              resumed.counts["done"] == 3, f"counts={resumed.counts}")
+
+
+def _kill_resume(ctx: _Ctx) -> None:
+    """A live ``repro serve`` subprocess is SIGKILLed mid-sweep; a
+    resumed incarnation must converge on exactly the artifact set of an
+    uninterrupted run -- no lost work, no duplicates.
+
+    Check details are timing-independent (the kill lands wherever the
+    host schedules it), so the passing report stays byte-identical; the
+    journal guarantees the *outcome* is identical regardless of where
+    the kill hit.
+    """
+    if not ctx.processes:
+        ctx.skip("no process isolation: cannot SIGKILL a service")
+        return
+    import json
+    import os
+    import subprocess
+    import sys
+    import time
+
+    from repro.analysis.service import run_service
+
+    specs = [ctx.spec(seed=s) for s in (1, 2, 3, 4)]
+    baseline_store = RunStore(ctx.store.root.parent / "kill-resume-baseline")
+    experiments.clear_cache()
+    faults.clear()
+    baseline = run_service(specs, store=baseline_store, isolation="inline",
+                           retries=ctx.retries,
+                           backoff_base=ctx.backoff_base)
+    spec_file = ctx.store.root.parent / "kill-resume-sweep.json"
+    spec_file.write_text(json.dumps(specs))
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(ctx.store.root)
+    env.pop(faults.FAULT_PLAN_ENV, None)
+    journal = ctx.store.root / "queue" / "journal.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--spec-file",
+         str(spec_file), "--isolation", "inline"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and proc.poll() is None:
+            try:
+                if journal.read_text().count('"op": "complete"') >= 1:
+                    break
+            except OSError:
+                pass
+            time.sleep(0.005)
+        if proc.poll() is None:
+            proc.kill()
+    finally:
+        proc.wait()
+    experiments.clear_cache()
+    resumed = run_service(specs, store=ctx.store, isolation="inline",
+                          resume=True, retries=ctx.retries,
+                          backoff_base=ctx.backoff_base)
+    ok = True
+    ok &= ctx.check("resumed sweep completed every job",
+                    resumed.counts["done"] == len(specs)
+                    and not resumed.counts["pending"]
+                    and not resumed.counts["claimed"])
+    ok &= ctx.check("no lost or duplicated runs (ledger byte-identical "
+                    "to the uninterrupted sweep)",
+                    resumed.ledger == baseline.ledger)
+    ok &= ctx.check("stored artifact fingerprints match the "
+                    "uninterrupted run",
+                    sorted(e.fingerprint for e in ctx.store.entries())
+                    == sorted(e.fingerprint for e in
+                              baseline_store.entries()))
+    if not ok:  # keep the passing report timing-independent
+        for line in resumed.transcript:
+            ctx.lines.append(line)
+
+
 #: The matrix, in execution order.  Names are the ``--scenario`` values.
 SCENARIOS: tuple[tuple[str, object], ...] = (
     ("worker-crash", _worker_crash),
@@ -308,6 +525,12 @@ SCENARIOS: tuple[tuple[str, object], ...] = (
     ("disk-full", _disk_full),
     ("corrupt-entry", _corrupt_entry),
     ("quarantine-permanent", _quarantine_permanent),
+    ("torn-journal", _torn_journal),
+    ("orphan-claim", _orphan_claim),
+    ("service-worker-lost", _service_worker_lost),
+    ("breaker-trip", _breaker_trip),
+    ("graceful-drain", _graceful_drain),
+    ("kill-resume", _kill_resume),
 )
 
 

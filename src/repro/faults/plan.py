@@ -35,6 +35,10 @@ KNOWN_SITES: tuple[str, ...] = (
     "sim.hang",             # worker never returns (exercises timeouts)
     "sim.stall",            # core retires nothing (exercises the watchdog)
     "heartbeat.stall",      # progress sink goes silent after `arg` beats
+    "queue.journal.torn",   # crash mid-append of a journal record
+    "queue.claim.orphan",   # worker vanishes between claim and tracking
+    "service.worker.lost",  # SIGKILL a launched service worker
+    "store.breaker.trip",   # force the store circuit breaker open
 )
 
 

@@ -43,6 +43,12 @@ WALLCLOCK_ALLOWLIST = (
     "obs/live.py",
     "analysis/runner.py",
     "analysis/supervisor.py",
+    # analysis/queue.py is deliberately NOT allowlisted: journal records
+    # must stay wall-clock-free so replay is byte-deterministic.
+    "analysis/service.py",
+    # The chaos harness polls real subprocesses against a kill deadline;
+    # its transcripts and reports carry no wall-clock values.
+    "faults/chaos.py",
 )
 
 #: time-module functions that read host clocks.

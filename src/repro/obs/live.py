@@ -219,6 +219,32 @@ class ProgressAggregator:
     def path_for(self, index: int) -> str:
         return os.path.join(self.directory, f"worker-{index}.json")
 
+    def prune(self) -> list[str]:
+        """Remove leftover ``worker-*.json`` from a previous incarnation.
+
+        A long-lived service keeps its progress directory across
+        restarts, so state files written by a dead incarnation's
+        workers would otherwise sit there forever -- old enough to be
+        "stale", and therefore reported as stalled workers on every
+        aggregate.  Call this once at startup, before any worker
+        writes.  Returns the removed names (sorted, for deterministic
+        transcripts).
+        """
+        try:
+            names = sorted(name for name in os.listdir(self.directory)
+                           if name.startswith("worker-")
+                           and name.endswith(".json"))
+        except OSError:
+            return []
+        removed = []
+        for name in names:
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            removed.append(name)
+        return removed
+
     def samples(self) -> list[dict]:
         """Every worker's latest sample (unreadable/in-flight files skipped).
 

@@ -77,3 +77,30 @@ def test_report_json_is_deterministic(tmp_path):
 def test_matrix_leaves_no_armed_plan(tmp_path):
     _fast(tmp_path / "m", ["worker-crash"])
     assert faults.active() is None
+
+
+# -- service scenarios -------------------------------------------------------
+
+
+def test_service_scenarios_registered():
+    names = chaos.scenario_names()
+    for name in ("torn-journal", "orphan-claim", "service-worker-lost",
+                 "breaker-trip", "graceful-drain", "kill-resume"):
+        assert name in names
+
+
+def test_service_scenarios_survive(tmp_path):
+    names = ["torn-journal", "orphan-claim", "service-worker-lost",
+             "breaker-trip", "graceful-drain"]
+    report = _fast(tmp_path / "m", names)
+    assert report.survived, report.render()
+    assert all(not s.skipped for s in report.scenarios)
+    assert all(all(check["ok"] for check in s.checks)
+               for s in report.scenarios)
+
+
+def test_service_scenario_report_deterministic(tmp_path):
+    names = ["torn-journal", "breaker-trip", "graceful-drain"]
+    first = _fast(tmp_path / "a", names).to_json_dict()
+    second = _fast(tmp_path / "b", names).to_json_dict()
+    assert first == second

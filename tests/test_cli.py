@@ -377,3 +377,71 @@ def test_cli_cache_ls_shows_checkpoint_kind(tmp_path, monkeypatch, capsys):
 
     assert cli.main(["cache", "gc"]) == 0
     assert "no stale-schema entries" in capsys.readouterr().out
+
+
+# -- resilient service surface -----------------------------------------------
+
+
+def _serve_specs():
+    return [{"workload": "specint", "cpu": "smt", "os_mode": "app",
+             "instructions": 800, "seed": s} for s in (1, 2)]
+
+
+def test_cli_serve_spec_file(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(json.dumps(_serve_specs()))
+    assert cli.main(["serve", "--spec-file", str(spec_file),
+                     "--isolation", "inline"]) == 0
+    out = capsys.readouterr().out
+    assert "service report" in out and "done=2" in out
+    assert (tmp_path / "store" / "queue" / "journal.jsonl").exists()
+
+
+def test_cli_serve_refuses_unfinished_journal_without_resume(
+        tmp_path, monkeypatch):
+    import json
+
+    from repro.analysis.queue import JobQueue, queue_root
+    from repro.analysis.runner import _resolve_item
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    # A dead incarnation left a pending job in the journal.
+    JobQueue(queue_root(tmp_path / "store")).submit(
+        _resolve_item(_serve_specs()[0]))
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(json.dumps(_serve_specs()))
+    with pytest.raises(SystemExit, match="--resume"):
+        cli.main(["serve", "--spec-file", str(spec_file),
+                  "--isolation", "inline"])
+    assert cli.main(["serve", "--spec-file", str(spec_file),
+                     "--isolation", "inline", "--resume"]) == 0
+
+
+def test_cli_serve_json_report(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(json.dumps(_serve_specs()[:1]))
+    out_path = tmp_path / "service.json"
+    assert cli.main(["serve", "--spec-file", str(spec_file),
+                     "--isolation", "inline", "--json",
+                     str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["counts"]["done"] == 1
+    assert payload["clean"] is True
+    assert payload["ledger"]
+
+
+def test_cli_serve_rejects_bad_spec_file(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(SystemExit, match="non-empty JSON list"):
+        cli.main(["serve", "--spec-file", str(bad)])
+    with pytest.raises(SystemExit, match="cannot read spec file"):
+        cli.main(["serve", "--spec-file", str(tmp_path / "absent.json")])

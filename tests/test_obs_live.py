@@ -227,3 +227,16 @@ def test_run_many_progress_serial_path(capsys):
     # The aggregate line went to stderr and was finished with a newline.
     err = capsys.readouterr().err
     assert "runs" in err and err.endswith("\n")
+
+
+def test_aggregator_prune_removes_previous_incarnation_files(tmp_path):
+    agg = ProgressAggregator(tmp_path, total_runs=2,
+                             total_instructions=2000)
+    StateFileSink(agg.path_for(0))({"retired": 500, "ips": 100.0})
+    (tmp_path / "worker-7.json").write_text("{}")  # dead incarnation's
+    (tmp_path / "journal.jsonl").write_text("keep")  # not a worker file
+    removed = agg.prune()
+    assert removed == ["worker-0.json", "worker-7.json"]
+    assert (tmp_path / "journal.jsonl").exists()
+    assert agg.aggregate()["active"] == 0
+    assert agg.prune() == []  # idempotent

@@ -160,3 +160,13 @@ def test_torn_put_leaves_reclaimable_tmp(tmp_path, small_artifact):
     # The retry (fault budget spent) completes and the store is whole.
     store.put(small_artifact)
     assert store.get(small_artifact.fingerprint) == small_artifact
+
+
+def test_collect_tmp_orders_pids_numerically(warm_store):
+    # Lexicographic ordering would put .tmp.100 before .tmp.99 and make
+    # `cache gc` transcripts depend on which pids the host handed out.
+    for name in ("b.json.tmp.100", "b.json.tmp.99", "a.json.tmp.7"):
+        (warm_store.root / name).write_text("x")
+    found = warm_store.collect_tmp(dry_run=True)
+    assert [p.name for p, _ in found] \
+        == ["a.json.tmp.7", "b.json.tmp.99", "b.json.tmp.100"]
