@@ -283,6 +283,11 @@ class JobQueue:
         elif op == "requeue":
             job.state = PENDING
             job.worker = None
+            if body.get("reason") == "resubmit":
+                # The live resubmit path (submit of a quarantined job)
+                # clears the stale quarantine error; replay must too or
+                # a resumed incarnation diverges from the live state.
+                job.error = None
         elif op == "complete":
             job.state = DONE
             job.worker = None

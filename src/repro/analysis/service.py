@@ -521,6 +521,7 @@ class ReproService:
                 # queue.claim.orphan fired: the claim is journaled but
                 # this incarnation lost track of it -- exactly a worker
                 # vanishing post-claim.  Recovery happens on resume.
+                self._probe_lost("claimed job orphaned before tracking")
                 self.transcript.append(
                     "claimed job lost before tracking (orphaned; "
                     "a resume will recover it)")
@@ -554,6 +555,7 @@ class ReproService:
         limit, expired = self._effective_timeout(job)
         if expired:
             self._free_slots.insert(0, slot)
+            self._probe_lost("deadline expired before execution")
             self._quarantine(job, "deadline expired before execution",
                              TRANSIENT)
             return None
@@ -618,15 +620,19 @@ class ReproService:
                 else:
                     error = "deadline exhausted; worker terminated"
                 self._revoke(leg, error)
-            elif self._lease_expired(leg, now):
+            elif self._lease_expired(leg):
                 self._revoke(leg, f"lease expired: no heartbeat for "
                                   f"{self.lease_s:g}s; worker terminated")
 
-    def _lease_expired(self, leg: _Leg, now: float) -> bool:
+    def _lease_expired(self, leg: _Leg) -> bool:
         if leg.progress_path is None:
             return False
         try:
-            age = now - os.stat(leg.progress_path).st_mtime
+            # Heartbeat mtimes are wall-clock epoch seconds (the clock
+            # ProgressAggregator.samples() reads), so the age must be
+            # measured against time.time(), not the monotonic clock the
+            # deadline checks use.
+            age = time.time() - os.stat(leg.progress_path).st_mtime
         except OSError:
             return False  # no heartbeat written yet: the timeout governs
         return age > self.lease_s
@@ -636,6 +642,7 @@ class ReproService:
         self._active.pop(leg.job.id, None)
         self._free_slots.append(leg.slot)
         self._free_slots.sort()
+        self._probe_lost(error)
         self._retry_or_quarantine(leg.job, error, TRANSIENT)
 
     def _settle_exit(self, leg: _Leg) -> None:
@@ -657,6 +664,7 @@ class ReproService:
                 error = f"worker lost (exit code {leg.proc.exitcode})"
                 kind = TRANSIENT
         self._note_store_failure(error)
+        self._probe_lost(error)
         self._retry_or_quarantine(job, error, kind)
 
     def _run_inline(self, job: Job) -> None:
@@ -675,11 +683,26 @@ class ReproService:
             kind = classify_error(type(exc).__name__,
                                   getattr(exc, "transient", None))
             self._note_store_failure(error)
+            self._probe_lost(error)
             self._retry_or_quarantine(job, error, kind)
             return
         finally:
             faults.set_attempt(1)
         self._complete(job, artifact)
+
+    def _probe_lost(self, why: str) -> None:
+        """A half-open probe ended without a store verdict.
+
+        The only exits from HALF_OPEN are an explicit success or
+        failure, but a probe can also be revoked (timeout/lease),
+        quarantined before running (expired deadline), orphaned at
+        claim time, or fail with a non-store-shaped error.  Any of
+        those must re-open the circuit -- leaving it HALF_OPEN would
+        deny every later :meth:`CircuitBreaker.allow` and livelock the
+        service while pending jobs remain.
+        """
+        if self.breaker.state == HALF_OPEN:
+            self.breaker.record_failure(f"probe lost: {why}")
 
     def _note_store_failure(self, error: str) -> None:
         lowered = error.lower()

@@ -155,6 +155,17 @@ def test_quarantined_spec_reopens_on_resubmit(tmp_path):
     again, outcome = q.submit(_spec())
     assert outcome == "queued" and again.state == jobqueue.PENDING
     assert again.error is None
+    # Replay rebuilds the same state: the resubmit also clears the
+    # stale quarantine error in the journaled incarnation.
+    replayed = JobQueue(tmp_path / "q").jobs[a.id]
+    assert replayed.state == jobqueue.PENDING and replayed.error is None
+    assert replayed.to_public_dict() == again.to_public_dict()
+    # An ordinary retry requeue keeps the last attempt's error visible.
+    q.claim("w0")
+    q.fail(a.id, "flaky", "transient")
+    q.requeue(a.id, "retry")
+    assert q.jobs[a.id].error == "flaky"
+    assert JobQueue(tmp_path / "q").jobs[a.id].error == "flaky"
 
 
 def test_backlog_limit_sheds(tmp_path):

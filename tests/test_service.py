@@ -2,7 +2,10 @@
 admission control, warm hits, circuit breaker, drain, deadline budgets,
 retry exhaustion, and resume semantics."""
 
+import multiprocessing
+import os
 import shutil
+import time
 
 import pytest
 
@@ -11,7 +14,8 @@ from repro.analysis import experiments
 from repro.analysis import queue as jobqueue
 from repro.analysis.runner import _resolve_item
 from repro.analysis.service import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
-                                    ReproService, ServiceError, run_service)
+                                    ReproService, ServiceError, _Leg,
+                                    run_service)
 from repro.analysis.store import RunStore
 from repro.analysis.supervisor import processes_available
 
@@ -222,6 +226,54 @@ def test_breaker_trip_fault_degrades_then_recovers(tmp_path):
     assert any("half-open -> closed" in line for line in report.transcript)
 
 
+def test_half_open_deadline_expiry_reopens_breaker(tmp_path):
+    store = RunStore(tmp_path / "store")
+    service = ReproService(store, isolation="inline")
+    job, _ = service.queue.submit(_resolve_item(_spec()), deadline_s=0.0)
+    service.breaker.trip("storm")
+    while not service.breaker.allow():
+        pass
+    assert service.breaker.state == HALF_OPEN
+    claimed = service.queue.claim("w0")
+    assert service._start_leg(claimed, use_processes=False) is None
+    assert claimed.state == jobqueue.QUARANTINED
+    assert service.breaker.state == OPEN  # probe lost, not stuck half-open
+    assert service._free_slots == [0]
+
+
+def test_half_open_orphan_claim_reopens_breaker(tmp_path):
+    store = RunStore(tmp_path / "store")
+    service = ReproService(store, isolation="inline", breaker_cooldown=1)
+    service.queue.submit(_resolve_item(_spec()))
+    service.breaker.trip("storm")
+    faults.install(faults.FaultPlan(sites=(
+        faults.FaultSite("queue.claim.orphan", times=1),)), env=False)
+    try:
+        service._launch_phase(use_processes=False)
+    finally:
+        faults.clear()
+    assert service.breaker.state == OPEN
+    assert any("probe lost" in line for line in service.transcript)
+
+
+def test_half_open_nonstore_failure_reopens_then_recovers(tmp_path):
+    # A half-open probe whose worker dies with a non-store error must
+    # re-open the circuit (else the service livelocks in HALF_OPEN);
+    # cooldown-counted probing then resumes and closes it.
+    store = RunStore(tmp_path / "store")
+    faults.install(faults.FaultPlan(sites=(
+        faults.FaultSite("store.breaker.trip", times=1),
+        faults.FaultSite("service.worker.lost", times=1),)), env=False)
+    try:
+        report = _serve(store, [_spec(1)], breaker_cooldown=1)
+    finally:
+        faults.clear()
+    assert report.ok, report.render()
+    assert report.breaker["state"] == CLOSED
+    assert report.breaker["trips"] == 2  # injected storm + lost probe
+    assert any("probe lost" in line for line in report.transcript)
+
+
 def test_constructor_validation(tmp_path):
     store = RunStore(tmp_path / "store")
     with pytest.raises(ValueError, match="workers"):
@@ -263,6 +315,62 @@ def test_process_mode_worker_lost_is_retried(tmp_path):
     (job,) = report.jobs
     assert job["attempts"] == 2
     assert any("worker lost" in line for line in report.transcript)
+
+
+def test_lease_age_measured_on_wall_clock(tmp_path):
+    # Heartbeat mtimes are epoch seconds; comparing them against the
+    # monotonic clock would make every age hugely negative and the
+    # lease check permanently false.
+    store = RunStore(tmp_path / "store")
+    service = ReproService(store, isolation="inline", lease_s=5.0)
+    job, _ = service.queue.submit(_resolve_item(_spec()))
+    heartbeat = tmp_path / "worker-0.json"
+    heartbeat.write_text("{}")
+    leg = _Leg(job, 0, progress_path=str(heartbeat))
+    assert not service._lease_expired(leg)  # fresh heartbeat
+    stale = time.time() - 60.0
+    os.utime(heartbeat, (stale, stale))
+    assert service._lease_expired(leg)
+    assert not service._lease_expired(_Leg(job, 0))  # no heartbeat file
+    missing = _Leg(job, 0, progress_path=str(tmp_path / "absent.json"))
+    assert not service._lease_expired(missing)  # timeout governs
+
+
+@pytest.mark.skipif(not processes_available(),
+                    reason="process isolation unavailable")
+def test_stalled_heartbeat_revokes_lease_and_requeues(tmp_path):
+    store = RunStore(tmp_path / "store")
+    service = ReproService(store, isolation="process", lease_s=5.0,
+                           backoff_base=0.01)
+    service.queue.submit(_resolve_item(_spec()))
+    claimed = service.queue.claim("w0")
+    heartbeat = tmp_path / "worker-0.json"
+    heartbeat.write_text("{}")
+    proc = multiprocessing.get_context().Process(target=time.sleep,
+                                                 args=(60,), daemon=True)
+    proc.start()
+    leg = _Leg(claimed, 0, proc=proc, progress_path=str(heartbeat))
+    service._active[claimed.id] = leg
+    service._free_slots = []
+    service.breaker.trip("storm")  # pretend this leg is the probe
+    while not service.breaker.allow():
+        pass
+    assert service.breaker.state == HALF_OPEN
+    try:
+        service._reap()  # fresh heartbeat: lease healthy, nothing reaped
+        assert claimed.id in service._active
+        stale = time.time() - 60.0
+        os.utime(heartbeat, (stale, stale))
+        service._reap()
+    finally:
+        if proc.is_alive():  # pragma: no cover - revocation failed
+            proc.kill()
+        proc.join()
+    assert claimed.id not in service._active
+    assert claimed.state == jobqueue.PENDING  # requeued, not lost
+    assert service._free_slots == [0]
+    assert service.breaker.state == OPEN  # revoked probe re-opens
+    assert any("lease expired" in line for line in service.transcript)
 
 
 def test_service_leaves_no_armed_plan(tmp_path):
